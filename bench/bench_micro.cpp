@@ -1,0 +1,176 @@
+// Microbenchmarks (google-benchmark): the hot paths of the simulator
+// plus the paper's "no heavy input processing" claim quantified in PIC
+// instruction cycles.
+//
+// "In our approach, the input parameter can be directly derived from the
+//  sensor without the need of heavy input processing." (Section 2)
+//
+// We compare the DistScroll per-sample firmware cost (ADC + island
+// lookup) against what a gesture-recognition baseline would burn on the
+// same MCU (windowed feature extraction over accelerometer data, as
+// GestureWrist/FreeDigiter-class recognisers need).
+#include <benchmark/benchmark.h>
+
+#include "core/island_mapper.h"
+#include "core/scroll_controller.h"
+#include "display/bt96040.h"
+#include "display/display_driver.h"
+#include "menu/menu_builder.h"
+#include "sensors/gp2d120.h"
+#include "hw/scheduler.h"
+#include "sim/event_queue.h"
+#include "util/crc.h"
+#include "wireless/packet.h"
+
+using namespace distscroll;
+
+namespace {
+
+void BM_IslandLookup(benchmark::State& state) {
+  core::SensorCurve curve;
+  core::IslandMapper mapper(curve, static_cast<std::size_t>(state.range(0)), {});
+  std::uint16_t counts = 100;
+  for (auto _ : state) {
+    counts = static_cast<std::uint16_t>((counts * 37 + 11) % 1024);
+    benchmark::DoNotOptimize(mapper.lookup(util::AdcCounts{counts}));
+  }
+  state.counters["pic_cycles_per_lookup"] =
+      static_cast<double>(mapper.lookup_cost_cycles());
+}
+BENCHMARK(BM_IslandLookup)->Arg(5)->Arg(10)->Arg(26)->Arg(64);
+
+void BM_ScrollControllerSample(benchmark::State& state) {
+  core::SensorCurve curve;
+  core::IslandMapper mapper(curve, 10, {});
+  core::ScrollController::Config config;
+  config.smoothing = static_cast<core::Smoothing>(state.range(0));
+  core::ScrollController controller(mapper, config);
+  std::uint16_t counts = 100;
+  std::uint64_t pic_cycles = 0;
+  for (auto _ : state) {
+    counts = static_cast<std::uint16_t>((counts * 37 + 11) % 1024);
+    const auto update = controller.on_sample(util::AdcCounts{counts});
+    pic_cycles = update.cycles;
+    benchmark::DoNotOptimize(update);
+  }
+  state.counters["pic_cycles_per_sample"] = static_cast<double>(pic_cycles);
+}
+BENCHMARK(BM_ScrollControllerSample)->Arg(0)->Arg(1)->Arg(2);  // raw/median/ema
+
+/// The gesture-recognition strawman: a 32-sample window of 2-axis
+/// accelerometer data, mean/energy/zero-crossing features plus an
+/// 8-template nearest-neighbour match — the cheap end of what the
+/// cited gesture interfaces do, counted in emulated PIC cycles.
+void BM_GestureRecognitionBaseline(benchmark::State& state) {
+  std::array<std::int16_t, 64> window{};
+  std::uint16_t x = 7;
+  std::uint64_t pic_cycles = 0;
+  for (auto _ : state) {
+    for (auto& s : window) {
+      x = static_cast<std::uint16_t>(x * 31 + 7);
+      s = static_cast<std::int16_t>(x & 0x3FF);
+    }
+    std::int32_t mean = 0, energy = 0;
+    int crossings = 0;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      mean += window[i];
+      energy += window[i] * window[i] >> 8;
+      if (i > 0 && ((window[i] > 512) != (window[i - 1] > 512))) ++crossings;
+    }
+    std::int32_t best = INT32_MAX;
+    for (int t = 0; t < 8; ++t) {
+      const std::int32_t d = std::abs(mean / 64 - t * 128) + std::abs(energy / 64 - t * 90) +
+                             std::abs(crossings - t * 3);
+      best = std::min(best, d);
+    }
+    benchmark::DoNotOptimize(best);
+    // PIC cost model: per window sample ~12 cycles of feature math
+    // (8-bit core, 16-bit data), plus 8 template comparisons ~40 cycles.
+    pic_cycles = window.size() * 12 + 8 * 40;
+  }
+  state.counters["pic_cycles_per_sample"] = static_cast<double>(pic_cycles);
+}
+BENCHMARK(BM_GestureRecognitionBaseline);
+
+void BM_Gp2d120Sample(benchmark::State& state) {
+  sensors::Gp2d120Model sensor({}, sim::Rng(1));
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    benchmark::DoNotOptimize(sensor.output(util::Centimeters{15.0}, util::Seconds{t}));
+  }
+}
+BENCHMARK(BM_Gp2d120Sample);
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  sim::EventQueue queue;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.schedule_after(util::Seconds{static_cast<double>(i % 7) * 1e-3}, [] {});
+    }
+    while (queue.step()) {
+    }
+  }
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_DisplayFullRedraw(benchmark::State& state) {
+  hw::I2cBus bus;
+  display::Bt96040 panel;
+  bus.attach(0x3C, &panel);
+  display::DisplayDriver driver(bus, 0x3C);
+  int flip = 0;
+  for (auto _ : state) {
+    ++flip;
+    driver.show({flip % 2 ? "AAAAAAAA" : "BBBBBBBB", "line2", "line3", "line4", "line5"},
+                flip % 5);
+  }
+}
+BENCHMARK(BM_DisplayFullRedraw);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  wireless::Frame frame;
+  frame.type = wireless::FrameType::State;
+  frame.payload = wireless::StateReport{512, 1, 3, 9, 0}.pack();
+  wireless::FrameDecoder decoder;
+  for (auto _ : state) {
+    const auto wire = wireless::encode(frame);
+    std::optional<wireless::Frame> decoded;
+    for (std::uint8_t byte : wire) decoded = decoder.feed(byte);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_FrameEncodeDecode);
+
+void BM_Crc8(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc8(data));
+  }
+}
+BENCHMARK(BM_Crc8)->Arg(11)->Arg(64);
+
+/// The whole DistScroll firmware task set on the cooperative scheduler:
+/// how much of the PIC's 1 ms tick budget does the prototype use?
+void BM_FirmwareTaskSetUtilization(benchmark::State& state) {
+  double utilization = 0.0;
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    hw::Mcu mcu({}, queue);
+    hw::Scheduler scheduler({}, mcu);
+    scheduler.add_task("buttons", 1, 12, [] {});           // 1 kHz scan
+    scheduler.add_task("ranger+map", 20, 440 + 82, [] {}); // 50 Hz sense+lookup
+    scheduler.add_task("display", 20, 900, [] {});         // redraw path
+    scheduler.add_task("telemetry", 40, 120 + 990, [] {}); // frame + uart pump
+    scheduler.start();
+    queue.run_until(util::Seconds{1.0});
+    utilization = scheduler.utilization();
+    benchmark::DoNotOptimize(scheduler.overruns());
+  }
+  state.counters["tick_budget_used"] = utilization;
+}
+BENCHMARK(BM_FirmwareTaskSetUtilization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Section 6's design question: "we are currently experimenting with the
+// number and position of the buttons. We currently favor a two button
+// design with the buttons slidable along the sides ... But we also
+// think of a layout with one large button".
+//
+// We score the three candidate layouts over a mixed-handed population
+// (~10% left-handed) with and without thick gloves, on a realistic
+// command mix (70% select, 25% back, 5% aux), using the per-layout
+// ergonomics model (core/button_layout.h): expected time per action and
+// expected slip rate.
+#include <cstdio>
+
+#include "core/button_layout.h"
+#include "human/user_profile.h"
+#include "sim/random.h"
+#include "study/report.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+using core::ButtonAction;
+using core::ButtonLayout;
+using core::Handedness;
+
+namespace {
+
+struct LayoutScore {
+  double mean_action_time = 0.0;
+  double slip_rate = 0.0;
+};
+
+LayoutScore score_layout(ButtonLayout layout, human::Glove glove, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  constexpr int kUsers = 20;
+  constexpr int kActions = 200;
+  double total_time = 0.0;
+  double slips = 0.0;
+
+  for (int user = 0; user < kUsers; ++user) {
+    const Handedness hand = (user < 2) ? Handedness::Left : Handedness::Right;  // ~10% LH
+    const auto profile = human::UserProfile::average().with_glove(glove);
+    sim::Rng user_rng = rng.fork(static_cast<std::uint64_t>(user));
+    for (int i = 0; i < kActions; ++i) {
+      const double roll = user_rng.uniform(0.0, 1.0);
+      const ButtonAction action = roll < 0.70   ? ButtonAction::Select
+                                  : roll < 0.95 ? ButtonAction::Back
+                                                : ButtonAction::Aux;
+      const auto ergo = core::ergonomics(layout, hand, action);
+      double time = profile.button_press_s * ergo.time_multiplier;
+      const double miss_p =
+          std::min(0.8, profile.button_miss_probability * ergo.miss_multiplier);
+      // Slipped presses cost a retry (noticing + pressing again).
+      while (user_rng.bernoulli(miss_p)) {
+        slips += 1.0;
+        time += profile.reaction_time_s + profile.button_press_s * ergo.time_multiplier;
+        if (time > 5.0) break;  // give up pathology guard
+      }
+      total_time += time;
+    }
+  }
+  return {total_time / (kUsers * kActions), slips / (kUsers * kActions)};
+}
+
+const char* layout_name(ButtonLayout layout) {
+  switch (layout) {
+    case ButtonLayout::ThreeButtonRight: return "3-button right (prototype)";
+    case ButtonLayout::SlidableTwoButton: return "2-button slidable";
+    case ButtonLayout::SingleLargeButton: return "1 large button (long-press back)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Button layout study (Section 6 design question) ===\n");
+  std::printf("population: 20 users, ~10%% left-handed; 70/25/5 select/back/aux mix\n\n");
+
+  study::Table table({"layout", "hands", "time/action [s]", "slips/action"});
+  util::CsvWriter csv("exp_button_layouts.csv",
+                      {"layout", "glove", "time_per_action_s", "slips_per_action"});
+  for (const auto glove : {human::Glove::None, human::Glove::Thick}) {
+    for (const auto layout : {ButtonLayout::ThreeButtonRight, ButtonLayout::SlidableTwoButton,
+                              ButtonLayout::SingleLargeButton}) {
+      const auto score = score_layout(layout, glove, 0xB077);
+      const char* hands = glove == human::Glove::None ? "bare" : "thick gloves";
+      table.add_row({layout_name(layout), hands, study::fmt(score.mean_action_time, 3),
+                     study::fmt(score.slip_rate, 3)});
+      csv.row({std::vector<std::string>{layout_name(layout), hands,
+                                        study::fmt(score.mean_action_time, 4),
+                                        study::fmt(score.slip_rate, 4)}});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Left-handed users only, bare hands (the prototype's weakness):\n");
+  study::Table lh({"layout", "select time x", "select miss x"});
+  for (const auto layout : {ButtonLayout::ThreeButtonRight, ButtonLayout::SlidableTwoButton,
+                            ButtonLayout::SingleLargeButton}) {
+    const auto e = core::ergonomics(layout, Handedness::Left, ButtonAction::Select);
+    lh.add_row({layout_name(layout), study::fmt(e.time_multiplier, 2),
+                study::fmt(e.miss_multiplier, 2)});
+  }
+  std::printf("%s\n", lh.render().c_str());
+  std::printf("expected shape: the prototype layout is fine right-handed and poor\n"
+              "left-handed; the slidable design is hand-symmetric and fastest\n"
+              "overall; the single large button wins on slips (especially gloved)\n"
+              "but pays the long-press time on every 'back' — matching the\n"
+              "trade-off the authors describe.\n");
+  std::printf("wrote exp_button_layouts.csv\n");
+  return 0;
+}

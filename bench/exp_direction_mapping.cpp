@@ -1,0 +1,132 @@
+// Section 7, Q5 / Section 5.1: "Is it more intuitive to scroll down
+// towards oneself or away from oneself?"
+//
+// We model the population prior: most users expect "pulling toward me =
+// pulling the list toward me = scroll down" (document-metaphor users)
+// while a minority holds the opposite (scrollbar-metaphor users). A
+// participant whose prior CONFLICTS with the device mapping starts with
+// inverted aim (they reach the wrong way first), un-learning it over
+// trials. The experiment measures both mappings over a mixed population.
+#include <cstdio>
+
+#include "baselines/distance_scroll.h"
+#include "study/report.h"
+#include "study/task.h"
+#include "study/trial.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+namespace {
+
+/// Wraps DistanceScroll: a participant with a conflicting mental model
+/// initially aims at the mirrored entry; the confusion probability
+/// decays as they adapt.
+class ConflictedAim final : public baselines::ScrollTechnique {
+ public:
+  ConflictedAim(baselines::DistanceScroll& inner, double initial_confusion, sim::Rng rng)
+      : inner_(&inner), confusion_(initial_confusion), rng_(rng) {}
+
+  std::string name() const override { return inner_->name(); }
+  baselines::ControlSpec spec() const override { return inner_->spec(); }
+  void reset(std::size_t level_size, std::size_t start) override {
+    inner_->reset(level_size, start);
+    // Adaptation between trials: confusion decays.
+    confusion_ *= 0.7;
+  }
+  std::size_t cursor() const override { return inner_->cursor(); }
+  std::size_t level_size() const override { return inner_->level_size(); }
+  void on_control(util::Seconds now, double u) override { inner_->on_control(now, u); }
+  std::optional<double> target_u(std::size_t target) const override {
+    if (const_cast<ConflictedAim*>(this)->rng_.bernoulli(confusion_)) {
+      // Reaches the wrong way: aims at the mirrored entry.
+      return inner_->target_u(inner_->level_size() - 1 - target);
+    }
+    return inner_->target_u(target);
+  }
+  double target_width_u(std::size_t target) const override {
+    return inner_->target_width_u(target);
+  }
+
+ private:
+  baselines::DistanceScroll* inner_;
+  double confusion_;
+  sim::Rng rng_;
+};
+
+struct PopulationResult {
+  double mean_time = 0.0;
+  double errors = 0.0;
+  double first_trial_time = 0.0;
+};
+
+PopulationResult run_population(core::ScrollDirection direction, std::uint64_t seed) {
+  // 70% of users expect toward-user = down; 30% the opposite.
+  constexpr int kUsers = 10;
+  constexpr int kTrialsPerUser = 12;
+  PopulationResult result;
+  int time_count = 0;
+  sim::Rng rng(seed);
+  double first_total = 0.0;
+
+  for (int user = 0; user < kUsers; ++user) {
+    const bool expects_down = user < 7;
+    const bool conflicted =
+        (direction == core::ScrollDirection::TowardUserScrollsDown) ? !expects_down : expects_down;
+
+    baselines::DistanceScroll::Config config;
+    config.scroll.direction = direction;
+    sim::Rng user_rng = rng.fork(static_cast<std::uint64_t>(user));
+    baselines::DistanceScroll inner(config, user_rng.fork(1));
+    ConflictedAim technique(inner, conflicted ? 0.8 : 0.05, user_rng.fork(2));
+
+    sim::Rng task_rng = user_rng.fork(3);
+    const auto tasks = study::random_tasks(task_rng, 10, kTrialsPerUser);
+    const auto profile = human::UserProfile::average();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const auto record =
+          study::run_trial(technique, tasks[i], profile, user_rng.fork(100 + i));
+      if (record.outcome.success) {
+        result.mean_time += record.outcome.time_s;
+        ++time_count;
+      }
+      if (i == 0) first_total += record.outcome.time_s;
+      result.errors += record.outcome.wrong_selections;
+    }
+  }
+  result.mean_time /= std::max(1, time_count);
+  result.errors /= kUsers * kTrialsPerUser;
+  result.first_trial_time = first_total / kUsers;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Q5: scroll down toward oneself, or away? ===\n");
+  std::printf("population: 70%% expect toward-user = down, 30%% the opposite;\n");
+  std::printf("conflicted users initially reach the wrong way, adapting over trials.\n\n");
+
+  study::Table table({"device mapping", "mean time[s]", "err/trial", "first-trial time[s]"});
+  util::CsvWriter csv("exp_direction_mapping.csv",
+                      {"mapping", "mean_time_s", "errors_per_trial", "first_trial_time_s"});
+  for (const auto direction : {core::ScrollDirection::TowardUserScrollsDown,
+                               core::ScrollDirection::TowardUserScrollsUp}) {
+    const char* name = direction == core::ScrollDirection::TowardUserScrollsDown
+                           ? "toward-user = DOWN"
+                           : "toward-user = UP";
+    const auto result = run_population(direction, 0xD1CE);
+    table.add_row({name, study::fmt(result.mean_time, 2), study::fmt(result.errors, 3),
+                   study::fmt(result.first_trial_time, 2)});
+    csv.row({std::vector<std::string>{name, study::fmt(result.mean_time, 3),
+                                      study::fmt(result.errors, 3),
+                                      study::fmt(result.first_trial_time, 3)}});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: the majority-compatible mapping (toward-user =\n"
+              "down) wins on first-trial time and early errors; the gap narrows\n"
+              "with practice — matching the paper's intuition that the choice\n"
+              "matters most for walk-up use.\n");
+  std::printf("wrote exp_direction_mapping.csv\n");
+  return 0;
+}

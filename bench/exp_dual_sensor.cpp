@@ -1,0 +1,96 @@
+// Ablation for the board's second (unused) distance sensor, Section 4:
+// what does resolving the < 4 cm fold-back buy?
+//
+// Condition A (prototype, single sensor): readings below ~4 cm alias to
+// farther distances; holding the device too close silently scrolls to a
+// wrong entry.
+// Condition B (dual sensor): the recessed second ranger disambiguates;
+// fold-zone samples are recognised ("too close") and never corrupt the
+// selection — and they become a reliable turbo signal.
+//
+// Run on the real device: sweep intrusion depths, count false cursor
+// moves while the device dips below the near bound and returns.
+#include <cstdio>
+
+#include "core/distscroll_device.h"
+#include "menu/menu_builder.h"
+#include "study/report.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+namespace {
+
+struct DipResult {
+  int false_moves = 0;     // cursor left the held entry during the dip
+  bool recovered = true;   // cursor back on the entry after the dip
+};
+
+DipResult run_dip(bool dual, double dip_cm, std::uint64_t seed) {
+  auto menu_root = menu::make_flat_menu(8);
+  sim::EventQueue queue;
+  core::DistScrollDevice::Config config;
+  config.use_dual_sensor = dual;
+  double distance = 17.0;
+  core::DistScrollDevice device(config, *menu_root, queue, sim::Rng(seed));
+  device.set_distance_provider([&](util::Seconds) { return util::Centimeters{distance}; });
+  device.power_on();
+
+  // Park on the NEAREST entry (island 0): the dip to < 4 cm then passes
+  // only through the unmapped over-range region on the way in, so any
+  // cursor motion during the hold is a genuine fold-back alias, not
+  // legitimate tracking.
+  const auto& mapper = device.mapper();
+  const std::size_t held = mapper.entries() - 1;  // toward-user-down: island 0
+  distance = mapper.centre_distance(0).value;
+  queue.run_until(util::Seconds{1.0});
+  if (device.cursor().index() != held) return {99, false};
+
+  // Ramp below the peak, hold for a second, ramp back.
+  DipResult result;
+  auto ramp_to = [&](double target, double duration) {
+    const double from = distance;
+    const double t0 = queue.now().value;
+    for (double t = 0.0; t < duration; t += 0.02) {
+      distance = from + (target - from) * (t / duration);
+      queue.run_until(util::Seconds{t0 + t});
+    }
+    distance = target;
+  };
+  ramp_to(dip_cm, 0.4);
+  const double hold0 = queue.now().value;
+  while (queue.now().value < hold0 + 1.0) {
+    queue.run_until(util::Seconds{queue.now().value + 0.02});
+    if (device.cursor().index() != held) ++result.false_moves;
+  }
+  ramp_to(mapper.centre_distance(0).value, 0.4);
+  queue.run_until(util::Seconds{queue.now().value + 0.5});
+  result.recovered = device.cursor().index() == held;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Second-sensor ablation: the < 4 cm fold-back ambiguity ===\n");
+  std::printf("(park on entry 6/8, dip the device to depth d for 1 s, return)\n\n");
+  study::Table table({"dip depth [cm]", "sensors", "false moves", "recovered"});
+  util::CsvWriter csv("exp_dual_sensor.csv",
+                      {"dip_cm", "dual", "false_moves", "recovered"});
+  for (const double dip : {2.6, 1.8, 1.2, 0.6}) {
+    for (const bool dual : {false, true}) {
+      const auto result = run_dip(dual, dip, 0xDD5);
+      table.add_row({study::fmt(dip, 1), dual ? "dual (recessed 2nd)" : "single (prototype)",
+                     std::to_string(result.false_moves), result.recovered ? "yes" : "NO"});
+      csv.row({dip, dual ? 1.0 : 0.0, static_cast<double>(result.false_moves),
+               result.recovered ? 1.0 : 0.0});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: single-sensor dips alias into the island range and\n"
+              "drag the cursor (the paper tolerates this because displays are\n"
+              "unreadable that close); the dual-sensor build recognises the fold\n"
+              "and freezes the selection — making the turbo zone safe to use.\n");
+  std::printf("wrote exp_dual_sensor.csv\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Section 4.2's last observation: "this sensor characteristic is
+// exploited by advanced users for faster scrolling or browsing" — the
+// steep < 4 cm branch as a turbo zone.
+//
+// Run on the REAL device (firmware + event queue): a 100-entry menu in
+// chunked mode; compare paging to chunk k by (a) pressing the aux
+// button k times vs (b) hovering in the turbo zone until chunk k shows.
+#include <cstdio>
+
+#include "core/distscroll_device.h"
+#include "menu/menu_builder.h"
+#include "study/report.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+namespace {
+
+struct Rig {
+  std::unique_ptr<menu::MenuNode> menu_root;
+  sim::EventQueue queue;
+  std::unique_ptr<core::DistScrollDevice> device;
+  double distance_cm = 17.0;
+
+  explicit Rig(bool fast_scroll) {
+    menu_root = menu::make_flat_menu(100);
+    core::DistScrollDevice::Config config;
+    config.long_menu = core::LongMenuStrategy::Chunked;
+    config.chunk_size = 10;
+    config.enable_fast_scroll = fast_scroll;
+    device = std::make_unique<core::DistScrollDevice>(config, *menu_root, queue, sim::Rng(5));
+    device->set_distance_provider(
+        [this](util::Seconds) { return util::Centimeters{distance_cm}; });
+    device->power_on();
+    run(0.5);
+  }
+
+  void run(double seconds) { queue.run_until(util::Seconds{queue.now().value + seconds}); }
+};
+
+/// Button path: k deliberate aux presses (0.22 s press + 0.06 s gap each).
+double time_buttons(std::size_t pages) {
+  Rig rig(/*fast_scroll=*/false);
+  const double t0 = rig.queue.now().value;
+  for (std::size_t i = 0; i < pages; ++i) {
+    rig.device->aux_button().press();
+    rig.run(0.22);
+    rig.device->aux_button().release();
+    rig.run(0.06);
+  }
+  return rig.queue.now().value - t0;
+}
+
+/// Turbo path: reach into the <4 cm zone (~0.35 s arm movement), hover
+/// until the target chunk appears, reach back out.
+double time_turbo(std::size_t pages) {
+  Rig rig(/*fast_scroll=*/true);
+  const double t0 = rig.queue.now().value;
+  rig.distance_cm = 3.4;  // enter the zone (modelled as a quick reach)
+  rig.run(0.35);
+  const double deadline = rig.queue.now().value + 30.0;
+  while (rig.device->current_chunk().value_or(0) != pages &&
+         rig.queue.now().value < deadline) {
+    rig.run(0.02);
+  }
+  rig.distance_cm = 17.0;  // leave the zone
+  rig.run(0.35);
+  return rig.queue.now().value - t0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Expert fast scroll: aux-button paging vs <4 cm turbo zone ===\n");
+  std::printf("(100-entry menu, chunks of 10, real firmware on the event queue)\n\n");
+  study::Table table({"target chunk", "buttons[s]", "turbo[s]", "speedup"});
+  util::CsvWriter csv("exp_fast_scroll.csv", {"pages", "buttons_s", "turbo_s"});
+  for (const std::size_t pages : {1u, 2u, 3u, 5u, 7u, 9u}) {
+    const double buttons = time_buttons(pages);
+    const double turbo = time_turbo(pages);
+    table.add_row({std::to_string(pages), study::fmt(buttons, 2), study::fmt(turbo, 2),
+                   study::fmt(buttons / turbo, 2)});
+    csv.row({static_cast<double>(pages), buttons, turbo});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: turbo pays a fixed entry/exit cost (~0.7 s of arm\n"
+              "movement) then pages every 120 ms, overtaking deliberate button\n"
+              "presses (~0.28 s each) from a few pages on — the \"advanced users\n"
+              "scroll faster\" claim.\n");
+  std::printf("wrote exp_fast_scroll.csv\n");
+  return 0;
+}

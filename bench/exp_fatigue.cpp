@@ -1,0 +1,105 @@
+// Fatigue over a long session — quantifying the paper's Section 2
+// critique ("using this input method [tilt] for a longer period of time
+// is fatiguing") honestly, i.e. including DistScroll's own cost of
+// holding the arm extended.
+//
+// Protocol: 15 simulated minutes of continuous 10-entry selections per
+// technique. Each trial accrues posture-specific effort; fatigue feeds
+// back into tremor and movement speed. Performance is reported in
+// 3-minute bins.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/button_scroll.h"
+#include "baselines/distance_scroll.h"
+#include "baselines/tilt_scroll.h"
+#include "baselines/wheel_scroll.h"
+#include "human/fatigue.h"
+#include "study/report.h"
+#include "study/task.h"
+#include "study/trial.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+namespace {
+
+struct TechniqueRun {
+  const char* name;
+  std::unique_ptr<baselines::ScrollTechnique> technique;
+  double effort_rate;  // fatigue units/s of active use
+};
+
+}  // namespace
+
+int main() {
+  constexpr double kSessionSeconds = 15.0 * 60.0;
+  constexpr int kBins = 5;
+  const double bin_width = kSessionSeconds / kBins;
+  const human::FatigueModel::Config fatigue_config{};
+
+  sim::Rng rng(0xFA716);
+  TechniqueRun runs[] = {
+      {"DistScroll", std::make_unique<baselines::DistanceScroll>(baselines::DistanceScroll::Config{}, rng.fork(1)),
+       fatigue_config.arm_extension_rate},
+      {"TiltScroll", std::make_unique<baselines::TiltScroll>(baselines::TiltScroll::Config{}, rng.fork(2)),
+       fatigue_config.wrist_tilt_rate},
+      {"YoYoWheel", std::make_unique<baselines::WheelScroll>(baselines::WheelScroll::Config{}, rng.fork(3)),
+       fatigue_config.stroke_rate},
+      {"ButtonScroll", std::make_unique<baselines::ButtonScroll>(), fatigue_config.button_rate},
+  };
+
+  std::printf("=== Fatigue over a 15-minute continuous session (10-entry menu) ===\n\n");
+  study::Table table({"technique", "0-3min", "3-6min", "6-9min", "9-12min", "12-15min",
+                      "final fatigue"});
+  util::CsvWriter csv("exp_fatigue.csv",
+                      {"technique", "bin", "mean_time_s", "fatigue_level"});
+
+  for (auto& run : runs) {
+    human::FatigueModel fatigue(fatigue_config);
+    const auto base_profile = human::UserProfile::average();
+    sim::Rng tech_rng = rng.fork(std::hash<std::string>{}(run.name));
+    sim::Rng task_rng = tech_rng.fork(1);
+
+    double clock = 0.0;
+    std::vector<double> bin_time(kBins, 0.0);
+    std::vector<int> bin_count(kBins, 0);
+    std::size_t trial = 0;
+    while (clock < kSessionSeconds) {
+      const auto tasks = study::random_tasks(task_rng, 10, 1);
+      const auto profile = fatigue.apply(base_profile);
+      const auto record =
+          study::run_trial(*run.technique, tasks[0], profile, tech_rng.fork(100 + trial));
+      ++trial;
+      const int bin = std::min(kBins - 1, static_cast<int>(clock / bin_width));
+      if (record.outcome.success) {
+        bin_time[static_cast<std::size_t>(bin)] += record.outcome.time_s;
+        ++bin_count[static_cast<std::size_t>(bin)];
+      }
+      fatigue.accrue(record.outcome.time_s, run.effort_rate);
+      // A short breather between selections (reading the result).
+      fatigue.rest(1.0);
+      clock += record.outcome.time_s + 1.0;
+    }
+
+    std::vector<std::string> row{run.name};
+    for (int b = 0; b < kBins; ++b) {
+      const double mean =
+          bin_count[static_cast<std::size_t>(b)] > 0
+              ? bin_time[static_cast<std::size_t>(b)] / bin_count[static_cast<std::size_t>(b)]
+              : 0.0;
+      row.push_back(study::fmt(mean, 2));
+      csv.row({std::vector<std::string>{run.name, std::to_string(b), study::fmt(mean, 3),
+                                        study::fmt(fatigue.level(), 3)}});
+    }
+    row.push_back(study::fmt(fatigue.level(), 2));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: tilt degrades most over the session (sustained\n"
+              "wrist deviation — the paper's critique); DistScroll degrades\n"
+              "moderately (arm extension is real effort too — an honest caveat\n"
+              "the paper does not quantify); buttons barely change.\n");
+  std::printf("wrote exp_fatigue.csv\n");
+  return 0;
+}

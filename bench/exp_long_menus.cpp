@@ -1,0 +1,174 @@
+// Section 7, Q4: "How to scroll long menus?" — plain distance mapping vs
+// chunks of 10 (the paper's suggestion) vs speed-dependent automatic
+// zooming (the paper's citation [6], Igarashi & Hinckley).
+//
+// Menu sizes {20, 50, 100, 200}. Each strategy is executed through the
+// same motor model:
+//  * plain     — one absolute acquisition over N islands (which shrink
+//                below motor precision as N grows);
+//  * chunked   — page to the target chunk with the aux button, then one
+//                absolute acquisition over <=10 islands;
+//  * speedzoom — coarse acquisition over 10 bucket-islands, dwell to
+//                zoom in, fine acquisition over <=10 islands.
+#include <cstdio>
+
+#include "baselines/distance_scroll.h"
+#include "human/motion_planner.h"
+#include "study/report.h"
+#include "study/task.h"
+#include "study/trial.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+namespace {
+
+struct StrategyResult {
+  double mean_time = 0.0;
+  double success_rate = 0.0;
+  double errors_per_trial = 0.0;
+};
+
+StrategyResult summarize(const std::vector<study::TrialRecord>& records) {
+  const auto agg = study::aggregate(records);
+  return {agg.mean_time_s, agg.success_rate, agg.error_rate};
+}
+
+StrategyResult run_plain(std::size_t menu, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  baselines::DistanceScroll technique({}, rng.fork(1));
+  sim::Rng task_rng = rng.fork(2);
+  const auto tasks = study::random_tasks(task_rng, menu, 25);
+  return summarize(study::run_trials(technique, tasks, human::UserProfile::average(),
+                                     rng.fork(3)));
+}
+
+StrategyResult run_chunked(std::size_t menu, std::size_t chunk_size, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  baselines::DistanceScroll technique({}, rng.fork(1));
+  const auto profile = human::UserProfile::average();
+  sim::Rng task_rng = rng.fork(2);
+  const auto tasks = study::random_tasks(task_rng, menu, 25);
+
+  std::vector<study::TrialRecord> records;
+  const std::size_t chunk_count = (menu + chunk_size - 1) / chunk_size;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& task = tasks[i];
+    const std::size_t start_chunk = task.start_index / chunk_size;
+    const std::size_t target_chunk = task.target_index / chunk_size;
+    // Single "next chunk" button with wraparound (the prototype's aux
+    // button): pages = forward distance.
+    const std::size_t pages = (target_chunk + chunk_count - start_chunk) % chunk_count;
+    const double paging_time =
+        static_cast<double>(pages) * (profile.button_press_s + 0.06) +
+        (pages > 0 ? profile.reaction_time_s : 0.0);
+
+    // Within-chunk acquisition over the chunk's islands.
+    const std::size_t entries =
+        std::min(chunk_size, menu - target_chunk * chunk_size);
+    study::SelectionTask sub;
+    sub.level_size = std::max<std::size_t>(2, entries);
+    sub.start_index = 0;
+    sub.target_index = std::min(task.target_index - target_chunk * chunk_size,
+                                sub.level_size - 1);
+    auto record = study::run_trial(technique, sub, profile, rng.fork(100 + i));
+    record.outcome.time_s += paging_time;
+    record.level_size = menu;
+    record.scroll_distance = pages;
+    records.push_back(record);
+  }
+  return summarize(records);
+}
+
+StrategyResult run_speedzoom(std::size_t menu, std::size_t islands, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  baselines::DistanceScroll technique({}, rng.fork(1));
+  const auto profile = human::UserProfile::average();
+  sim::Rng task_rng = rng.fork(2);
+  const auto tasks = study::random_tasks(task_rng, menu, 25);
+  const std::size_t bucket = (menu + islands - 1) / islands;
+
+  std::vector<study::TrialRecord> records;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& task = tasks[i];
+    // Phase 1: coarse — acquire the target's bucket among `islands`.
+    study::SelectionTask coarse;
+    coarse.level_size = islands;
+    coarse.start_index = std::min(task.start_index / bucket, islands - 1);
+    coarse.target_index = std::min(task.target_index / bucket, islands - 1);
+    if (coarse.start_index == coarse.target_index) {
+      coarse.start_index = (coarse.target_index + 1) % islands;
+    }
+    auto coarse_record = study::run_trial(technique, coarse, profile, rng.fork(100 + i));
+
+    // Dwell to zoom in (0.6 s), then phase 2: fine within the bucket.
+    const std::size_t entries = std::min(bucket, menu - (task.target_index / bucket) * bucket);
+    study::SelectionTask fine;
+    fine.level_size = std::max<std::size_t>(2, entries);
+    fine.start_index = 0;
+    fine.target_index = std::min(task.target_index % bucket, fine.level_size - 1);
+    auto fine_record = study::run_trial(technique, fine, profile, rng.fork(500 + i));
+
+    study::TrialRecord total;
+    total.outcome.success = coarse_record.outcome.success && fine_record.outcome.success;
+    total.outcome.time_s = coarse_record.outcome.time_s + 0.6 + fine_record.outcome.time_s;
+    total.outcome.wrong_selections =
+        coarse_record.outcome.wrong_selections + fine_record.outcome.wrong_selections;
+    total.outcome.id_bits = std::log2(
+        std::abs(static_cast<long>(task.target_index) - static_cast<long>(task.start_index)) +
+        1.0);
+    total.level_size = menu;
+    records.push_back(total);
+  }
+  return summarize(records);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Q4: long menus — plain vs chunks-of-10 vs speed zoom ===\n\n");
+  study::Table table({"menu", "strategy", "time[s]", "success", "err/trial"});
+  util::CsvWriter csv("exp_long_menus.csv",
+                      {"menu_size", "strategy", "mean_time_s", "success_rate",
+                       "errors_per_trial"});
+  for (const std::size_t menu : {20u, 50u, 100u, 200u}) {
+    struct Row {
+      const char* name;
+      StrategyResult result;
+    };
+    const Row rows[] = {
+        {"plain", run_plain(menu, 0x1000 + menu)},
+        {"chunked-10", run_chunked(menu, 10, 0x2000 + menu)},
+        {"speedzoom-10", run_speedzoom(menu, 10, 0x3000 + menu)},
+    };
+    for (const auto& row : rows) {
+      table.add_row({std::to_string(menu), row.name, study::fmt(row.result.mean_time, 2),
+                     study::fmt(row.result.success_rate, 2),
+                     study::fmt(row.result.errors_per_trial, 2)});
+      csv.row({std::vector<std::string>{std::to_string(menu), row.name,
+                                        study::fmt(row.result.mean_time, 3),
+                                        study::fmt(row.result.success_rate, 3),
+                                        study::fmt(row.result.errors_per_trial, 3)}});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("=== Ablation: chunk size on a 100-entry menu ===\n\n");
+  study::Table ablation({"chunk size", "time[s]", "success", "err/trial"});
+  for (const std::size_t chunk : {5u, 10u, 20u}) {
+    const auto result = run_chunked(100, chunk, 0x4000 + chunk);
+    ablation.add_row({std::to_string(chunk), study::fmt(result.mean_time, 2),
+                      study::fmt(result.success_rate, 2),
+                      study::fmt(result.errors_per_trial, 2)});
+  }
+  std::printf("%s\n", ablation.render().c_str());
+
+  std::printf("expected shape: plain collapses as the menu grows (islands drop\n"
+              "below motor precision: success falls, time explodes); chunking and\n"
+              "speed zoom stay roughly flat, trading button pages / zoom dwell\n"
+              "for island width. Chunk-size ablation: small chunks over-page,\n"
+              "large chunks under-resolve; ~10 (the paper's suggestion) is a\n"
+              "sensible middle.\n");
+  std::printf("wrote exp_long_menus.csv\n");
+  return 0;
+}

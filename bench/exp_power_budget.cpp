@@ -1,0 +1,66 @@
+// Engineering-constraint experiment: the 9 V block battery budget.
+//
+// The paper argues for a solid-state design ("the reduction of
+// mechanical parts reduces costs", no wires) — the flip side is the
+// GP2D120's constant ~33 mA draw. This bench runs the real device and
+// reports runtime and the per-consumer energy split, plus the effect of
+// display contrast and of duty-cycling the ranger between interactions.
+#include <cstdio>
+
+#include "core/distscroll_device.h"
+#include "menu/menu_builder.h"
+#include "study/report.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+int main() {
+  auto menu_root = menu::make_flat_menu(10);
+  sim::EventQueue queue;
+  core::DistScrollDevice::Config config;
+  core::DistScrollDevice device(config, *menu_root, queue, sim::Rng(3));
+  device.set_distance_provider([](util::Seconds) { return util::Centimeters{17.0}; });
+  device.power_on();
+  queue.run_until(util::Seconds{120.0});  // two minutes of use
+
+  auto& battery = device.board().battery();
+  std::printf("=== Power budget of the prototype (9 V block, 550 mAh) ===\n\n");
+  study::Table split({"consumer", "draw share [mAh/2min]", "relative"});
+  double total = 0.0;
+  for (double mah : battery.per_consumer_mah()) total += mah;
+  for (std::size_t i = 0; i < battery.per_consumer_mah().size(); ++i) {
+    const double mah = battery.per_consumer_mah()[i];
+    split.add_row({battery.consumer_name(i), study::fmt(mah, 4),
+                   study::fmt(100.0 * mah / total, 1) + "%"});
+  }
+  std::printf("%s\n", split.render().c_str());
+  std::printf("total draw: %.1f mA -> estimated runtime %.1f h on one block\n\n",
+              battery.total_draw_ma(), battery.estimated_runtime_hours());
+
+  std::printf("=== What-if: ranger duty cycling between interactions ===\n\n");
+  study::Table whatif({"scenario", "draw [mA]", "runtime [h]"});
+  util::CsvWriter csv("exp_power_budget.csv", {"scenario", "draw_ma", "runtime_h"});
+  struct Scenario {
+    const char* name;
+    double sensor_ma;
+  };
+  // GP2D120 typ. 33 mA continuous; 10% duty (wake on button, 38 ms
+  // bursts) averages ~4.3 mA incl. settle time.
+  for (const auto& s : {Scenario{"continuous sensing (prototype)", 33.0},
+                        Scenario{"50% duty cycle", 17.5},
+                        Scenario{"10% duty + wake-on-button", 4.3}}) {
+    hw::Battery fresh;
+    fresh.add_consumer("base-board+mcu", 12.0);
+    fresh.add_consumer("gp2d120", s.sensor_ma);
+    fresh.add_consumer("displays", 2.0);
+    whatif.add_row({s.name, study::fmt(fresh.total_draw_ma(), 1),
+                    study::fmt(fresh.estimated_runtime_hours(), 1)});
+    csv.row({std::vector<std::string>{s.name, study::fmt(fresh.total_draw_ma(), 1),
+                                      study::fmt(fresh.estimated_runtime_hours(), 1)}});
+  }
+  std::printf("%s\n", whatif.render().c_str());
+  std::printf("shape: the IR ranger dominates the budget — duty cycling is the\n"
+              "lever for a production DistScroll (the paper's planned PDA add-on).\n");
+  std::printf("wrote exp_power_budget.csv\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Section 7, Q2: "Is the scrolling range of 4 to 30 cm appropriate?"
+//
+// Sweep the calibrated [near, far] range and measure selection time and
+// error rate on a 10-entry menu. Short ranges squeeze islands below
+// motor precision; ranges pushed past ~30 cm run into the sensor's
+// resolution floor (the curve flattens, islands collapse to a few ADC
+// counts) and past comfortable arm extension.
+#include <cstdio>
+
+#include "baselines/distance_scroll.h"
+#include "study/report.h"
+#include "study/task.h"
+#include "study/trial.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+namespace {
+
+study::Aggregate run_range(double near_cm, double far_cm, std::uint64_t seed) {
+  baselines::DistanceScroll::Config config;
+  config.islands.near = util::Centimeters{near_cm};
+  config.islands.far = util::Centimeters{far_cm};
+  sim::Rng rng(seed);
+  baselines::DistanceScroll technique(config, rng.fork(1));
+  sim::Rng task_rng = rng.fork(2);
+  const auto tasks = study::random_tasks(task_rng, 10, 30);
+  const auto records =
+      study::run_trials(technique, tasks, human::UserProfile::average(), rng.fork(3));
+  return study::aggregate(records);
+}
+
+}  // namespace
+
+int main() {
+  struct Range {
+    double near, far;
+    const char* note;
+  };
+  const Range ranges[] = {
+      {4.0, 12.0, "very short throw"},
+      {4.0, 20.0, "short throw"},
+      {4.0, 30.0, "the paper's range"},
+      {4.0, 40.0, "extended (sensor flattens)"},
+      {8.0, 30.0, "late start"},
+      {10.0, 50.0, "far shifted (resolution floor)"},
+  };
+
+  std::printf("=== Q2: is 4..30 cm appropriate? (10-entry menu, 30 trials each) ===\n\n");
+  study::Table table({"range[cm]", "note", "time[s]", "success", "err/trial", "corrections"});
+  util::CsvWriter csv("exp_range_sweep.csv",
+                      {"near_cm", "far_cm", "mean_time_s", "success_rate", "errors_per_trial",
+                       "mean_corrections"});
+  for (const auto& range : ranges) {
+    const auto agg = run_range(range.near, range.far,
+                               0xBEEF ^ static_cast<std::uint64_t>(range.near * 10) ^
+                                   (static_cast<std::uint64_t>(range.far) << 8));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f..%.0f", range.near, range.far);
+    table.add_row({label, range.note, study::fmt(agg.mean_time_s, 2),
+                   study::fmt(agg.success_rate, 2), study::fmt(agg.error_rate, 2),
+                   study::fmt(agg.mean_corrections, 2)});
+    csv.row({range.near, range.far, agg.mean_time_s, agg.success_rate, agg.error_rate,
+             agg.mean_corrections});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: the paper's 4..30 cm sits at/near the optimum —\n"
+              "shorter throws crowd the islands (more corrections), far-shifted\n"
+              "ranges lose ADC resolution where the curve flattens.\n");
+  std::printf("wrote exp_range_sweep.csv\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Text entry through scrolling: distance vs the related-work techniques.
+//
+// The paper's related work (TiltText, Unigesture) is about zone-based
+// text entry with word disambiguation; the DistScroll board carries the
+// accelerometer exactly "to reproduce results published by others".
+// This experiment does that reproduction: the same 8-zone keyboard and
+// T9-style dictionary driven by distance, tilt and buttons, with and
+// without thick gloves. Metrics: words per minute, keystrokes per
+// character, errors.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/button_scroll.h"
+#include "baselines/distance_scroll.h"
+#include "baselines/tilt_scroll.h"
+#include "study/report.h"
+#include "text/text_entry.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+namespace {
+
+constexpr const char* kPhrases[] = {
+    "the world is good",
+    "we can help you",
+    "write the answer down",
+    "people live in the house",
+    "find the right way home",
+};
+
+std::unique_ptr<baselines::ScrollTechnique> make_technique(int which, sim::Rng rng) {
+  switch (which) {
+    case 0: {
+      // Zone selection spans the full arm range: 8 zones over 4..30 cm.
+      baselines::DistanceScroll::Config config;
+      return std::make_unique<baselines::DistanceScroll>(config, rng);
+    }
+    case 1:
+      return std::make_unique<baselines::TiltScroll>(baselines::TiltScroll::Config{}, rng);
+    default:
+      return std::make_unique<baselines::ButtonScroll>();
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto dictionary = text::Dictionary::common_english();
+  text::TextEntrySession session(dictionary);
+
+  std::printf("=== Zone-keyboard text entry (Unigesture-style) by technique ===\n");
+  std::printf("(8 letter zones + dictionary disambiguation; 5 test phrases)\n\n");
+
+  study::Table table({"technique", "hands", "WPM", "KSPC", "success", "err/word"});
+  util::CsvWriter csv("exp_text_entry.csv",
+                      {"technique", "glove", "wpm", "kspc", "success_rate", "errors_per_word"});
+  const char* names[] = {"DistScroll", "TiltScroll", "ButtonScroll"};
+  for (const auto glove : {human::Glove::None, human::Glove::Thick}) {
+    for (int which = 0; which < 3; ++which) {
+      sim::Rng rng(0x7E27 + static_cast<std::uint64_t>(which));
+      auto technique = make_technique(which, rng.fork(1));
+      const auto profile = human::UserProfile::average().with_glove(glove);
+      std::vector<text::WordResult> all;
+      for (std::size_t p = 0; p < std::size(kPhrases); ++p) {
+        const auto results =
+            session.enter_phrase(*technique, kPhrases[p], profile, rng.fork(100 + p));
+        all.insert(all.end(), results.begin(), results.end());
+      }
+      const auto stats = text::TextEntrySession::aggregate(all);
+      const char* hands = glove == human::Glove::None ? "bare" : "thick gloves";
+      table.add_row({names[which], hands, study::fmt(stats.words_per_minute, 1),
+                     study::fmt(stats.keystrokes_per_char, 2),
+                     study::fmt(stats.success_rate, 2),
+                     study::fmt(stats.errors_per_word, 2)});
+      csv.row({std::vector<std::string>{names[which], hands,
+                                        study::fmt(stats.words_per_minute, 2),
+                                        study::fmt(stats.keystrokes_per_char, 3),
+                                        study::fmt(stats.success_rate, 3),
+                                        study::fmt(stats.errors_per_word, 3)}});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: buttons lead bare-handed (small fast presses);\n"
+              "distance and tilt land in the same few-WPM band the zone-gesture\n"
+              "literature reports; with thick gloves the button keyboard drops\n"
+              "hard while distance entry barely changes — text entry inherits\n"
+              "the same glove story as menu scrolling.\n");
+  std::printf("wrote exp_text_entry.csv\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Section 6 reproduction: the initial user study, on the REAL simulated
+// device (firmware, displays, buttons, sensor — everything).
+//
+// Protocol, as in the paper: hand the DistScroll to participants of
+// mixed background ("students, colleagues and people without direct
+// technical background"), let them discover the operation unaided, then
+// run blocks of menu-selection trials on the fictive phone menu.
+//
+// Claims to reproduce:
+//  * "the manner of operation was promptly discovered" — discovery in
+//    seconds, not minutes;
+//  * "Shortly after knowing the relation between menu entry selection
+//    and distance, all users were able to nearly errorless use the
+//    device" — error rate near zero after the first block(s).
+#include <cstdio>
+
+#include "menu/phone_menu.h"
+#include "study/device_study.h"
+#include "study/report.h"
+#include "util/csv.h"
+
+using namespace distscroll;
+
+int main() {
+  auto menu_root = menu::make_phone_menu();
+
+  study::DeviceStudyConfig config;
+  config.blocks = 4;
+  config.trials_per_block = 10;
+
+  struct Participant {
+    const char* name;
+    double expertise;
+    human::Glove glove;
+  };
+  // Mixed pool: technical colleagues, students, non-technical users;
+  // two of them gloved (the motivating scenario).
+  const Participant pool[] = {
+      {"colleague-1", 0.55, human::Glove::None}, {"colleague-2", 0.50, human::Glove::None},
+      {"student-1", 0.35, human::Glove::None},   {"student-2", 0.30, human::Glove::None},
+      {"student-3", 0.40, human::Glove::None},   {"nontech-1", 0.15, human::Glove::None},
+      {"nontech-2", 0.10, human::Glove::None},   {"gloved-1", 0.30, human::Glove::Thick},
+      {"gloved-2", 0.20, human::Glove::Thick},
+  };
+
+  std::printf("=== Initial user study on the full simulated device (Section 6) ===\n\n");
+  study::Table per_user({"participant", "discovery[s]", "blk0 err/trial", "blk3 err/trial",
+                         "blk0 success", "blk3 success", "blk3 time[s]"});
+  util::CsvWriter csv("exp_user_study.csv",
+                      {"participant", "block", "expertise", "success_rate", "errors_per_trial",
+                       "mean_time_s", "discovery_s"});
+
+  std::vector<double> block_err[4], block_succ[4];
+  std::size_t id = 0;
+  for (const auto& p : pool) {
+    human::UserProfile profile =
+        human::UserProfile{}.with_expertise(p.expertise).with_glove(p.glove);
+    profile.name = p.name;
+    const auto result =
+        study::run_device_participant(*menu_root, profile, config, sim::Rng(1000 + id));
+    ++id;
+    for (const auto& block : result.blocks) {
+      csv.row({std::vector<std::string>{
+          p.name, std::to_string(block.block), study::fmt(block.expertise, 2),
+          study::fmt(block.success_rate, 3), study::fmt(block.errors_per_trial, 3),
+          study::fmt(block.mean_time_s, 2), study::fmt(result.discovery_time_s, 1)}});
+      block_err[block.block].push_back(block.errors_per_trial);
+      block_succ[block.block].push_back(block.success_rate);
+    }
+    per_user.add_row(
+        {p.name, study::fmt(result.discovery_time_s, 1),
+         study::fmt(result.blocks.front().errors_per_trial, 2),
+         study::fmt(result.blocks.back().errors_per_trial, 2),
+         study::fmt(result.blocks.front().success_rate, 2),
+         study::fmt(result.blocks.back().success_rate, 2),
+         study::fmt(result.blocks.back().mean_time_s, 1)});
+  }
+  std::printf("%s\n", per_user.render().c_str());
+
+  std::printf("Learning curve across the pool (mean over participants):\n");
+  study::Table curve({"block", "errors/trial", "success rate"});
+  for (int b = 0; b < 4; ++b) {
+    double err = 0, succ = 0;
+    for (double e : block_err[b]) err += e;
+    for (double s : block_succ[b]) succ += s;
+    curve.add_row({std::to_string(b), study::fmt(err / block_err[b].size(), 3),
+                   study::fmt(succ / block_succ[b].size(), 3)});
+  }
+  std::printf("%s\n", curve.render().c_str());
+  std::printf("paper claims: prompt discovery; nearly errorless use after\n"
+              "learning the distance->selection relation. Expected shape:\n"
+              "discovery tens of seconds at most; errors/trial fall to ~0 and\n"
+              "success rate -> 1 by the final block.\n");
+  std::printf("wrote exp_user_study.csv\n");
+  return 0;
+}

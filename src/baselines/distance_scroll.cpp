@@ -1,0 +1,69 @@
+#include "baselines/distance_scroll.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace distscroll::baselines {
+
+DistanceScroll::DistanceScroll(Config config, sim::Rng rng) : config_(config), rng_(rng) {
+  ranger_ = std::make_unique<sensors::Gp2d120Model>(config_.sensor, rng_.fork(1));
+  reset(1, 0);
+}
+
+ControlSpec DistanceScroll::spec() const {
+  ControlSpec spec;
+  spec.style = ControlStyle::AbsolutePosition;
+  spec.u_min = 2.0;
+  spec.u_max = 40.0;
+  spec.u_neutral = (config_.islands.near.value + config_.islands.far.value) / 2.0;
+  spec.unit = "cm";
+  return spec;
+}
+
+void DistanceScroll::reset(std::size_t level_size, std::size_t start_index) {
+  ranger_->reset();  // trial clocks restart at zero
+  level_size_ = std::max<std::size_t>(1, level_size);
+  mapper_ = std::make_unique<core::IslandMapper>(config_.curve, level_size_, config_.islands);
+  controller_ = std::make_unique<core::ScrollController>(*mapper_, config_.scroll);
+  cursor_ = std::min(start_index, level_size_ - 1);
+  next_tick_s_ = 0.0;
+}
+
+void DistanceScroll::on_control(util::Seconds now, double u) {
+  // The firmware samples at its own tick, regardless of how densely the
+  // planner integrates the hand position.
+  if (now.value < next_tick_s_) return;
+  next_tick_s_ = now.value + config_.firmware_tick.value;
+
+  const util::Volts v = ranger_->output(util::Centimeters{u}, now);
+  double counts = v.value / config_.curve.params().vref * 1023.0;
+  counts += rng_.gaussian(0.0, config_.adc_noise_lsb);
+  counts = std::clamp(counts, 0.0, 1023.0);
+  const auto update =
+      controller_->on_sample(util::AdcCounts{static_cast<std::uint16_t>(std::lround(counts))});
+  if (update.menu_index) cursor_ = std::min(*update.menu_index, level_size_ - 1);
+}
+
+std::size_t DistanceScroll::island_of_menu_index(std::size_t menu_index) const {
+  if (config_.scroll.direction == core::ScrollDirection::TowardUserScrollsDown) {
+    return level_size_ - 1 - menu_index;
+  }
+  return menu_index;
+}
+
+std::optional<double> DistanceScroll::target_u(std::size_t target) const {
+  if (target >= level_size_) return std::nullopt;
+  return mapper_->centre_distance(island_of_menu_index(target)).value;
+}
+
+double DistanceScroll::target_width_u(std::size_t target) const {
+  if (target >= level_size_) return 0.1;
+  const auto& island = mapper_->islands()[island_of_menu_index(target)];
+  // Convert the island's count bounds back to distances; the width in cm
+  // is what the user must hit.
+  const double d_low = config_.curve.distance_at(util::AdcCounts{island.high}).value;
+  const double d_high = config_.curve.distance_at(util::AdcCounts{island.low}).value;
+  return std::max(0.05, d_high - d_low);
+}
+
+}  // namespace distscroll::baselines

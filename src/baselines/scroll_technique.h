@@ -1,0 +1,84 @@
+// Common interface over scrolling techniques for the comparison study
+// (paper Section 7, Q1: "Is distance-based scrolling faster, equal or
+// slower than other scrolling techniques?").
+//
+// Every technique is reduced to the 1-D control channel the user
+// actually manipulates — a distance, a wrist angle, a pulled wheel, a
+// key, a circular gesture — plus the technique's mapping from that
+// channel to a cursor in a list. The human::MotionPlanner drives the
+// channel with realistic reaches, tremor and perception delays; the
+// technique turns the channel into cursor motion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/units.h"
+
+namespace distscroll::baselines {
+
+enum class ControlStyle : std::uint8_t {
+  /// Channel position maps to an absolute cursor position (DistScroll).
+  AbsolutePosition,
+  /// Channel deflection from neutral sets cursor velocity (tilting).
+  RateControl,
+  /// Bounded channel; motion while engaged moves the cursor, then the
+  /// channel must be clutched back (YoYo pull wheel).
+  RelativeStroke,
+  /// Unbounded relative channel (circular touch gesture).
+  RelativeUnbounded,
+  /// Discrete steps (up/down keys with auto-repeat).
+  DiscreteSteps,
+};
+
+struct ControlSpec {
+  ControlStyle style = ControlStyle::AbsolutePosition;
+  double u_min = 0.0;       // physical channel range
+  double u_max = 1.0;
+  double u_neutral = 0.0;   // resting value
+  /// Channel units per second the device itself limits (e.g. a wheel
+  /// can only be pulled so fast). 0 = only the human limits speed.
+  double max_rate = 0.0;
+  std::string unit = "u";
+};
+
+class ScrollTechnique {
+ public:
+  virtual ~ScrollTechnique() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual ControlSpec spec() const = 0;
+
+  /// Start a trial over a list of `level_size` entries with the cursor
+  /// at `start_index`.
+  virtual void reset(std::size_t level_size, std::size_t start_index) = 0;
+
+  [[nodiscard]] virtual std::size_t cursor() const = 0;
+  [[nodiscard]] virtual std::size_t level_size() const = 0;
+
+  /// Continuous techniques: the channel's value at time `now`. Called
+  /// densely (every few ms) by the planner.
+  virtual void on_control(util::Seconds now, double u) = 0;
+
+  /// DiscreteSteps techniques: a key event. Default ignores.
+  virtual void on_step(util::Seconds /*now*/, int /*delta*/) {}
+
+  /// RelativeStroke techniques: engage/release the clutch. Default
+  /// ignores.
+  virtual void set_engaged(bool /*engaged*/) {}
+
+  /// AbsolutePosition techniques: the channel value whose target region
+  /// maps to `target`, and that region's width (for Fitts aiming).
+  [[nodiscard]] virtual std::optional<double> target_u(std::size_t /*target*/) const {
+    return std::nullopt;
+  }
+  [[nodiscard]] virtual double target_width_u(std::size_t /*target*/) const { return 0.1; }
+
+  /// Whether the technique is one-handed and how it degrades with
+  /// gloves (scales the planner's fine-motor penalty; 1 = insensitive).
+  [[nodiscard]] virtual bool one_handed() const { return true; }
+  [[nodiscard]] virtual double glove_sensitivity() const { return 1.0; }
+};
+
+}  // namespace distscroll::baselines

@@ -1,0 +1,62 @@
+#include "core/calibration_store.h"
+
+#include <cstring>
+
+#include "util/crc.h"
+
+namespace distscroll::core {
+
+namespace {
+
+void put_float(std::vector<std::uint8_t>& out, double value) {
+  const auto f = static_cast<float>(value);
+  std::uint8_t bytes[4];
+  std::memcpy(bytes, &f, 4);
+  out.insert(out.end(), bytes, bytes + 4);
+}
+
+float get_float(std::span<const std::uint8_t> in, std::size_t offset) {
+  float f;
+  std::memcpy(&f, in.data() + offset, 4);
+  return f;
+}
+
+}  // namespace
+
+util::Seconds CalibrationStore::save(hw::Eeprom& eeprom, const CalibrationResult& calibration) {
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordSize);
+  record.push_back('D');
+  record.push_back('S');
+  record.push_back(kVersion);
+  const auto& params = calibration.curve.params();
+  put_float(record, params.a);
+  put_float(record, params.k);
+  put_float(record, params.c);
+  put_float(record, calibration.usable_near.value);
+  put_float(record, calibration.usable_far.value);
+  record.push_back(util::crc8(record));
+  return eeprom.write_block(kBaseAddress, record);
+}
+
+std::optional<CalibrationResult> CalibrationStore::load(const hw::Eeprom& eeprom) {
+  const auto record = eeprom.read_block(kBaseAddress, kRecordSize);
+  if (record[0] != 'D' || record[1] != 'S') return std::nullopt;
+  if (record[2] != kVersion) return std::nullopt;
+  const std::uint8_t crc = util::crc8({record.data(), kRecordSize - 1});
+  if (crc != record.back()) return std::nullopt;
+
+  SensorCurve::Params params;
+  params.a = get_float(record, 3);
+  params.k = get_float(record, 7);
+  params.c = get_float(record, 11);
+  CalibrationResult result;
+  result.curve = SensorCurve(params);
+  result.usable_near = util::Centimeters{get_float(record, 15)};
+  result.usable_far = util::Centimeters{get_float(record, 19)};
+  result.r_squared = 1.0;  // quality metrics are not persisted
+  result.log_log_r_squared = 1.0;
+  return result;
+}
+
+}  // namespace distscroll::core

@@ -1,0 +1,32 @@
+// Calibration persistence in the PIC's data EEPROM.
+//
+// Record layout (24 bytes at a fixed base address):
+//   magic 'D','S' | version | a,k,c,near,far as float32 LE | crc8
+// CRC covers magic..far. load() returns nullopt on bad magic, unknown
+// version or CRC mismatch — the firmware then falls back to the
+// datasheet default curve and flags "uncalibrated" on the debug display.
+#pragma once
+
+#include <optional>
+
+#include "core/calibration.h"
+#include "core/sensor_curve.h"
+#include "hw/eeprom.h"
+
+namespace distscroll::core {
+
+class CalibrationStore {
+ public:
+  static constexpr std::size_t kBaseAddress = 0x10;
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kRecordSize = 2 + 1 + 5 * 4 + 1;
+
+  /// Persist a calibration; returns the EEPROM write time the firmware
+  /// must wait out.
+  static util::Seconds save(hw::Eeprom& eeprom, const CalibrationResult& calibration);
+
+  /// Load and validate; nullopt if the record is missing or corrupt.
+  [[nodiscard]] static std::optional<CalibrationResult> load(const hw::Eeprom& eeprom);
+};
+
+}  // namespace distscroll::core

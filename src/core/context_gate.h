@@ -1,0 +1,70 @@
+// Orientation-based context gating.
+//
+// Paper Section 4.3: "We plan to include the acceleration sensor in the
+// final version of the DistScroll to get information about the
+// orientation of the device in 3D space and exploit this values for
+// context determination."
+//
+// The concrete context problem for distance scrolling: when the user
+// lowers the device (arm down, device hanging) or lays it on a table,
+// the ranger points at legs/table and produces garbage that scrolls the
+// menu. The gate reads device pitch from the ADXL311 and suspends
+// scrolling outside the "held upright in front of the body" posture,
+// with hysteresis and a resume delay so a brief wobble doesn't toggle.
+#pragma once
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace distscroll::core {
+
+class ContextGate {
+ public:
+  struct Config {
+    /// |pitch| beyond this suspends scrolling (device tipped away from
+    /// the upright interaction posture).
+    util::Radians suspend_beyond{0.9};   // ~52 degrees
+    /// |pitch| must come back under this to resume (hysteresis).
+    util::Radians resume_within{0.6};    // ~34 degrees
+    /// Posture must be good this long before scrolling resumes.
+    util::Seconds resume_delay{0.3};
+  };
+
+  explicit ContextGate(Config config) : config_(config) {}
+
+  [[nodiscard]] bool scrolling_enabled() const { return enabled_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Feed the measured pitch each firmware tick; returns whether
+  /// scrolling is enabled after this sample.
+  bool on_sample(util::Seconds now, util::Radians pitch) {
+    const double p = std::abs(pitch.value);
+    if (enabled_) {
+      if (p > config_.suspend_beyond.value) {
+        enabled_ = false;
+        good_since_ = -1.0;
+      }
+    } else {
+      if (p < config_.resume_within.value) {
+        if (good_since_ < 0.0) good_since_ = now.value;
+        if (now.value - good_since_ >= config_.resume_delay.value) enabled_ = true;
+      } else {
+        good_since_ = -1.0;
+      }
+    }
+    return enabled_;
+  }
+
+  void reset() {
+    enabled_ = true;
+    good_since_ = -1.0;
+  }
+
+ private:
+  Config config_;
+  bool enabled_ = true;
+  double good_since_ = -1.0;
+};
+
+}  // namespace distscroll::core

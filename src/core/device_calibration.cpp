@@ -1,0 +1,46 @@
+#include "core/device_calibration.h"
+
+#include <cassert>
+
+namespace distscroll::core {
+
+DeviceCalibrationReport calibrate_device(DistScrollDevice& device, sim::EventQueue& queue,
+                                         std::span<const double> jig_distances_cm,
+                                         DeviceCalibrationConfig config) {
+  assert(jig_distances_cm.size() >= 3);
+  DeviceCalibrationReport report;
+  const double t0 = queue.now().value;
+
+  // The jig: a fixture holding the device at exact distances.
+  double jig_position = jig_distances_cm.front();
+  device.set_distance_provider(
+      [&jig_position](util::Seconds) { return util::Centimeters{jig_position}; });
+  if (!device.powered()) device.power_on();
+
+  std::vector<CalibrationSample> samples;
+  samples.reserve(jig_distances_cm.size());
+  for (const double d : jig_distances_cm) {
+    jig_position = d;
+    // Let the sensor's sample-and-hold flush the previous position.
+    queue.run_until(util::Seconds{queue.now().value + 0.1});
+    double sum = 0.0;
+    for (int i = 0; i < config.samples_per_point; ++i) {
+      queue.run_until(util::Seconds{queue.now().value + config.dwell_per_sample.value});
+      sum += device.last_counts().value;
+    }
+    samples.push_back(
+        {util::Centimeters{d},
+         util::AdcCounts{static_cast<std::uint16_t>(sum / config.samples_per_point + 0.5)}});
+  }
+
+  report.result = calibrate(samples);
+  report.accepted = report.result.r_squared >= config.min_r_squared;
+  if (report.accepted) {
+    device.save_calibration_to_eeprom(report.result);
+    report.persisted = device.load_calibration_from_eeprom();
+  }
+  report.duration_s = queue.now().value - t0;
+  return report;
+}
+
+}  // namespace distscroll::core

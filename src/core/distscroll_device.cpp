@@ -1,0 +1,445 @@
+#include "core/distscroll_device.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace distscroll::core {
+
+namespace {
+constexpr std::uint8_t kTopDisplayAddress = 0x3C;
+constexpr std::uint8_t kBottomDisplayAddress = 0x3D;
+// ADC conversion busy-wait at 10 MIPS (~44 us) in instruction cycles.
+constexpr std::uint64_t kAdcCycles = 440;
+constexpr std::uint64_t kButtonScanCycles = 12;
+constexpr std::uint64_t kRedrawCycles = 900;  // formatting + I2C byte pumping
+}  // namespace
+
+DistScrollDevice::DistScrollDevice(Config config, const menu::MenuNode& menu_root,
+                                   sim::EventQueue& queue, sim::Rng rng)
+    : config_(config),
+      queue_(&queue),
+      board_(config.board, queue, rng.fork(1)),
+      ranger_(config.sensor, rng.fork(2)),
+      accel_(config.accel, rng.fork(3)),
+      top_driver_(board_.i2c(), kTopDisplayAddress),
+      bottom_driver_(board_.i2c(), kBottomDisplayAddress),
+      pot_({}, rng.fork(4)),
+      menu_root_(&menu_root),
+      cursor_(menu_root) {
+  // --- wire the add-on board --------------------------------------------
+  board_.i2c().attach(kTopDisplayAddress, &top_panel_);
+  board_.i2c().attach(kBottomDisplayAddress, &bottom_panel_);
+
+  distance_provider_ = [](util::Seconds) { return util::Centimeters{17.0}; };
+  tilt_provider_ = [](util::Seconds) { return util::Radians{0.0}; };
+
+  ranger_channel_ = board_.adc().attach(
+      [this](util::Seconds now) { return ranger_.output(distance_provider_(now), now); });
+  accel_x_channel_ = board_.adc().attach(
+      [this](util::Seconds now) { return accel_.output_x(tilt_provider_(now)); });
+  accel_y_channel_ = board_.adc().attach(
+      [this](util::Seconds) { return accel_.output_y(util::Radians{0.0}); });
+  pot_channel_ = board_.adc().attach([this](util::Seconds) { return pot_.output(); });
+
+  for (std::size_t pin = 0; pin < 3; ++pin) {
+    buttons_.push_back(
+        std::make_unique<input::Button>(config_.button, board_.gpio(), pin, queue, rng.fork(10 + pin)));
+    debouncers_.emplace_back();
+  }
+  if (config_.button_layout == ButtonLayout::SingleLargeButton) {
+    // One physical button: short press = SELECT on release, long press
+    // (>= threshold) = BACK. The other debouncers stay unused.
+    debouncers_[0].on_press([this] { select_pressed_at_s_ = queue_->now().value; });
+    debouncers_[0].on_release([this] {
+      if (select_pressed_at_s_ < 0.0) return;
+      const double held = queue_->now().value - select_pressed_at_s_;
+      select_pressed_at_s_ = -1.0;
+      if (held >= config_.long_press.threshold_s) {
+        handle_back();
+      } else {
+        handle_select();
+      }
+    });
+  } else {
+    debouncers_[0].on_press([this] { handle_select(); });
+    debouncers_[1].on_press([this] { handle_back(); });
+    debouncers_[2].on_press([this] { handle_aux(); });
+  }
+
+  if (config_.use_dual_sensor) {
+    // The board's second GP2D120, recessed by offset_cm in the case: it
+    // sees the same target farther away, always on the monotone branch.
+    secondary_ranger_ = std::make_unique<sensors::Gp2d120Model>(config_.sensor, rng.fork(20));
+    secondary_channel_ = board_.adc().attach([this](util::Seconds now) {
+      const double d = distance_provider_(now).value + config_.dual_sensor.offset_cm;
+      return secondary_ranger_->output(util::Centimeters{d}, now);
+    });
+    DualRangeResolver::Config resolver_config = config_.dual_sensor;
+    resolver_config.peak_cm = config_.sensor.peak_cm;
+    resolver_config.dead_zone_volts = config_.sensor.dead_zone_volts;
+    dual_resolver_ =
+        std::make_unique<DualRangeResolver>(config_.curve, config_.curve, resolver_config);
+    board_.mcu().reserve_ram("dual-sensor-state", 16);
+  }
+  if (config_.enable_context_gate) {
+    context_gate_ = std::make_unique<ContextGate>(config_.context_gate);
+  }
+
+  // Battery consumers beyond the base board: ranger (GP2D120 typ. 33 mA)
+  // and the two displays.
+  sensor_draw_ = board_.battery().add_consumer("gp2d120", 33.0);
+  display_draw_ = board_.battery().add_consumer(
+      "displays", top_panel_.current_draw_ma() + bottom_panel_.current_draw_ma());
+
+  // Firmware static memory: island table (4 B/entry, worst case 64
+  // entries), frame buffer shadows are in the display controllers, not
+  // the PIC.
+  board_.mcu().reserve_ram("island-table", 256);
+  board_.mcu().reserve_ram("fifos+state", 192);
+  board_.mcu().reserve_flash("firmware", 14 * 1024);
+
+  rebuild_mapping();
+}
+
+void DistScrollDevice::set_distance_provider(
+    std::function<util::Centimeters(util::Seconds)> provider) {
+  distance_provider_ = std::move(provider);
+}
+
+void DistScrollDevice::set_tilt_provider(std::function<util::Radians(util::Seconds)> provider) {
+  tilt_provider_ = std::move(provider);
+}
+
+void DistScrollDevice::set_surface(sensors::SurfaceProfile surface) {
+  ranger_.set_surface(surface);
+}
+
+void DistScrollDevice::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  firmware_timer_ = board_.mcu().start_timer(config_.firmware_tick, [this] { firmware_tick(); });
+  button_timer_ = board_.mcu().start_timer(config_.button_tick, [this] { button_tick(); });
+  redraw();
+}
+
+void DistScrollDevice::power_off() {
+  if (!powered_) return;
+  powered_ = false;
+  board_.mcu().stop_timer(firmware_timer_);
+  board_.mcu().stop_timer(button_timer_);
+}
+
+std::optional<std::size_t> DistScrollDevice::current_chunk() const {
+  if (!chunker_) return std::nullopt;
+  return chunker_->chunk();
+}
+
+void DistScrollDevice::rebuild_mapping() {
+  const std::size_t level_size = std::max<std::size_t>(1, cursor_.level_size());
+  std::size_t islands = level_size;
+  chunker_.reset();
+  zoom_.reset();
+
+  switch (config_.long_menu) {
+    case LongMenuStrategy::Plain:
+      break;
+    case LongMenuStrategy::Chunked:
+      if (level_size > config_.chunk_size) {
+        chunker_ = std::make_unique<ChunkedScroll>(level_size, config_.chunk_size);
+        chunker_->jump_to_chunk(chunker_->chunk_of(cursor_.index()));
+        islands = chunker_->entries_in_chunk();
+      }
+      break;
+    case LongMenuStrategy::SpeedZoom:
+      if (level_size > config_.speed_zoom_islands) {
+        islands = config_.speed_zoom_islands;
+        zoom_ = std::make_unique<SpeedZoom>(level_size, islands, config_.speed_zoom);
+      }
+      break;
+  }
+
+  mapper_ = std::make_unique<IslandMapper>(config_.curve, islands, config_.islands);
+  controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll);
+  if (config_.enable_fast_scroll) {
+    FastScrollMode::Config fs = config_.fast_scroll;
+    if (fs.threshold_counts == 0) {
+      fs.threshold_counts = static_cast<std::uint16_t>(
+          std::min(1020, mapper_->islands().front().high + 12));
+    }
+    fast_scroll_ = std::make_unique<FastScrollMode>(fs);
+  } else {
+    fast_scroll_.reset();
+  }
+  // Rebuilding the island table costs the firmware real work (divides
+  // through the curve): ~220 cycles per entry.
+  board_.mcu().charge_cycles(60 + 220 * islands);
+}
+
+void DistScrollDevice::apply_entry(std::size_t absolute_index) {
+  if (absolute_index != cursor_.index()) {
+    cursor_.move_to(absolute_index);
+    redraw();
+  }
+}
+
+void DistScrollDevice::firmware_tick() {
+  if (!powered_) return;
+  auto& mcu = board_.mcu();
+  const util::Seconds now = queue_->now();
+
+  // --- ranger duty cycling (idle -> sample every Nth tick, lower draw) --
+  bool sample_this_tick = true;
+  if (config_.enable_sensor_duty_cycle) {
+    sensor_idle_ = (now.value - last_activity_s_) >= config_.idle_after.value;
+    board_.battery().set_draw(sensor_draw_,
+                              sensor_idle_ ? 33.0 / config_.idle_divider : 33.0);
+    if (sensor_idle_ && ++ticks_since_sample_ < config_.idle_divider) {
+      sample_this_tick = false;
+    }
+  }
+
+  // --- posture context gate (Section 4.3) --------------------------------
+  bool gate_open = true;
+  if (context_gate_) {
+    const auto accel_counts = board_.adc().sample(accel_x_channel_, now);
+    const auto pitch = accel_.tilt_from_volts(board_.adc().to_volts(accel_counts));
+    gate_open = context_gate_->on_sample(now, pitch);
+    mcu.charge_cycles(kAdcCycles + 30);
+  }
+
+  if (sample_this_tick) {
+    ticks_since_sample_ = 0;
+    // Sample the ranger through the ADC (the MCU busy-waits conversion).
+    last_counts_ = board_.adc().sample(ranger_channel_, now);
+    mcu.charge_cycles(kAdcCycles);
+
+    // --- dual-sensor fold resolution (the board's second GP2D120) --------
+    bool sample_valid = true;
+    bool fold_zone = false;
+    util::AdcCounts effective_counts = last_counts_;
+    if (dual_resolver_) {
+      const auto secondary = board_.adc().sample(secondary_channel_, now);
+      mcu.charge_cycles(kAdcCycles + 180);  // two inversions + compare
+      const auto resolution = dual_resolver_->resolve(last_counts_, secondary);
+      if (!resolution) {
+        sample_valid = false;  // unexplained pair: glitch, skip sample
+      } else if (resolution->folded) {
+        fold_zone = true;  // unambiguous "too close"
+      } else {
+        effective_counts = config_.curve.counts_at(resolution->distance);
+      }
+    }
+
+    // --- expert turbo zone ------------------------------------------------
+    if (fast_scroll_ && gate_open && sample_valid) {
+      const int steps = dual_resolver_ ? fast_scroll_->on_zone(now, fold_zone)
+                                       : fast_scroll_->on_sample(now, last_counts_);
+      if (steps > 0) {
+        mcu.charge_cycles(20);
+        mark_activity(now);
+        if (chunker_) {
+          for (int i = 0; i < steps; ++i) advance_chunk();
+        } else {
+          const int dir = (config_.scroll.direction == ScrollDirection::TowardUserScrollsDown)
+                              ? steps
+                              : -steps;
+          cursor_.move_by(dir);
+          redraw();
+        }
+      }
+    }
+
+    // --- distance -> island -> entry ---------------------------------------
+    if (sample_valid && !fold_zone) {
+      const ScrollController::Update update = controller_->on_sample(effective_counts);
+      mcu.charge_cycles(update.cycles);
+      if (update.changed) mark_activity(now);
+      if (update.menu_index && gate_open) {
+        std::size_t absolute = *update.menu_index;
+        if (chunker_) {
+          absolute = chunker_->to_absolute(*update.menu_index);
+        } else if (zoom_) {
+          // SpeedZoom consumes island indices directly (before direction
+          // mapping the controller applied); undo the mapping.
+          std::size_t island = *update.menu_index;
+          if (config_.scroll.direction == ScrollDirection::TowardUserScrollsDown) {
+            island = mapper_->entries() - 1 - island;
+          }
+          absolute = zoom_->on_update(now, island);
+          if (config_.scroll.direction == ScrollDirection::TowardUserScrollsDown) {
+            absolute = cursor_.level_size() - 1 - absolute;
+          }
+          mcu.charge_cycles(40);
+        }
+        apply_entry(absolute);
+      }
+    }
+  }
+
+  // Battery bookkeeping per tick; a depleted battery drops the
+  // regulator and the device browns out.
+  board_.battery().consume(config_.firmware_tick);
+  if (board_.battery().depleted()) {
+    browned_out_ = true;
+    power_off();
+    return;
+  }
+
+  if (++ticks_since_telemetry_ >= config_.telemetry_divider) {
+    ticks_since_telemetry_ = 0;
+    send_state_frame();
+  }
+}
+
+bool DistScrollDevice::load_calibration_from_eeprom() {
+  const auto calibration = CalibrationStore::load(eeprom_);
+  if (!calibration) {
+    calibrated_from_eeprom_ = false;
+    return false;
+  }
+  config_.curve = calibration->curve;
+  config_.islands.near = calibration->usable_near;
+  // Keep the configured far bound if the stored one extends beyond it:
+  // comfort (arm length) caps the range before the sensor does.
+  if (calibration->usable_far < config_.islands.far) {
+    config_.islands.far = calibration->usable_far;
+  }
+  calibrated_from_eeprom_ = true;
+  rebuild_mapping();
+  return true;
+}
+
+void DistScrollDevice::save_calibration_to_eeprom(const CalibrationResult& calibration) {
+  // The firmware stalls for the EEPROM's self-timed writes.
+  const util::Seconds wait = CalibrationStore::save(eeprom_, calibration);
+  board_.mcu().charge_cycles(static_cast<std::uint64_t>(wait.value * 10e6));
+}
+
+void DistScrollDevice::mark_activity(util::Seconds now) {
+  last_activity_s_ = now.value;
+  sensor_idle_ = false;
+}
+
+bool DistScrollDevice::scrolling_enabled() const {
+  return context_gate_ ? context_gate_->scrolling_enabled() : true;
+}
+
+void DistScrollDevice::button_tick() {
+  if (!powered_) return;
+  for (std::size_t i = 0; i < debouncers_.size(); ++i) {
+    debouncers_[i].tick(board_.gpio().read(i));
+  }
+  board_.mcu().charge_cycles(kButtonScanCycles);
+}
+
+void DistScrollDevice::handle_select() {
+  mark_activity(queue_->now());
+  const menu::MenuNode& target = cursor_.highlighted();
+  SelectionEvent event{queue_->now().value, target.label(), target.is_leaf(), cursor_.depth()};
+  if (cursor_.enter()) {
+    event.depth = cursor_.depth();
+    rebuild_mapping();
+    redraw();
+  } else {
+    // Leaf activation: the application-level "select" action.
+    if (leaf_callback_) leaf_callback_(event);
+  }
+  selections_.push_back(std::move(event));
+}
+
+void DistScrollDevice::handle_back() {
+  mark_activity(queue_->now());
+  if (cursor_.back()) {
+    rebuild_mapping();
+    redraw();
+  }
+}
+
+void DistScrollDevice::handle_aux() {
+  mark_activity(queue_->now());
+  advance_chunk();
+}
+
+void DistScrollDevice::advance_chunk() {
+  if (!chunker_) return;
+  if (!chunker_->next_chunk()) chunker_->jump_to_chunk(0);  // wrap around
+  const std::size_t islands = chunker_->entries_in_chunk();
+  if (islands != mapper_->entries()) {
+    // The last chunk can be short: the island table must match it.
+    mapper_ = std::make_unique<IslandMapper>(config_.curve, islands, config_.islands);
+    controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll);
+    board_.mcu().charge_cycles(60 + 220 * islands);
+  } else {
+    controller_->reset();
+  }
+  cursor_.move_to(chunker_->to_absolute(0));
+  redraw();
+}
+
+void DistScrollDevice::redraw() {
+  ++redraws_;
+  board_.mcu().charge_cycles(kRedrawCycles);
+
+  // --- top display: 5-line menu window around the cursor -----------------
+  const menu::MenuNode& level = cursor_.current_level();
+  const std::size_t size = level.child_count();
+  std::size_t window_start = 0;
+  if (size > display::kTextLines) {
+    const std::size_t cursor_index = cursor_.index();
+    const std::size_t half = display::kTextLines / 2;
+    window_start = (cursor_index > half) ? cursor_index - half : 0;
+    window_start = std::min(window_start, size - display::kTextLines);
+  }
+  std::array<std::string, display::kTextLines> lines{};
+  int highlight = -1;
+  for (int row = 0; row < display::kTextLines; ++row) {
+    const std::size_t entry = window_start + static_cast<std::size_t>(row);
+    if (entry >= size) break;
+    lines[static_cast<std::size_t>(row)] = level.child(entry).label();
+    if (entry == cursor_.index()) highlight = row;
+  }
+  top_driver_.show(lines, highlight);
+
+  // --- bottom display: the paper's debug/state information ----------------
+  char buf[24];
+  std::array<std::string, display::kTextLines> debug{};
+  std::snprintf(buf, sizeof(buf), "cnt %4u", last_counts_.value);
+  debug[0] = buf;
+  std::snprintf(buf, sizeof(buf), "lvl %zu  idx %zu/%zu", cursor_.depth(), cursor_.index() + 1,
+                size);
+  debug[1] = buf;
+  if (chunker_) {
+    std::snprintf(buf, sizeof(buf), "chunk %zu/%zu", chunker_->chunk() + 1,
+                  chunker_->chunk_count());
+    debug[2] = buf;
+  } else if (zoom_) {
+    std::snprintf(buf, sizeof(buf), "zoom %s",
+                  zoom_->mode() == SpeedZoom::Mode::Coarse ? "coarse" : "fine");
+    debug[2] = buf;
+  }
+  std::snprintf(buf, sizeof(buf), "bat %3.0f%%", board_.battery().remaining_fraction() * 100.0);
+  debug[3] = buf;
+  debug[4] = fast_scroll_ && fast_scroll_->active() ? "TURBO" : "";
+  bottom_driver_.show(debug, -1);
+}
+
+void DistScrollDevice::send_state_frame() {
+  wireless::StateReport report;
+  report.adc_counts = last_counts_.value;
+  report.menu_depth = static_cast<std::uint8_t>(cursor_.depth());
+  report.cursor_index = static_cast<std::uint8_t>(std::min<std::size_t>(255, cursor_.index()));
+  report.level_size = static_cast<std::uint8_t>(std::min<std::size_t>(255, cursor_.level_size()));
+  for (std::size_t i = 0; i < debouncers_.size(); ++i) {
+    if (debouncers_[i].pressed()) report.buttons |= static_cast<std::uint8_t>(1u << i);
+  }
+  wireless::Frame frame;
+  frame.type = wireless::FrameType::State;
+  frame.seq = telemetry_seq_++;
+  frame.payload = report.pack();
+  for (std::uint8_t byte : wireless::encode(frame)) {
+    board_.uart().transmit(byte);
+  }
+  board_.mcu().charge_cycles(120);
+}
+
+}  // namespace distscroll::core

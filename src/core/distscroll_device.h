@@ -1,0 +1,222 @@
+// The complete DistScroll prototype: Smart-Its board, GP2D120 ranger,
+// ADXL311, two BT96040 displays, three push buttons, contrast pot,
+// battery, wireless telemetry — and the firmware loop that turns
+// distance into menu navigation (paper Sections 4 and 5.1).
+//
+// Usage model (matches Figure 1): the simulated user holds the device,
+// its distance to the body is whatever the human model's hand provides
+// via set_distance_provider(); scrolling follows the distance, entries
+// are selected "by clicking a specified button, here the top right
+// button which is most conveniently operated with the thumb".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/button_layout.h"
+#include "core/calibration_store.h"
+#include "core/chunked_scroll.h"
+#include "core/context_gate.h"
+#include "core/dual_sensor.h"
+#include "core/fast_scroll.h"
+#include "core/island_mapper.h"
+#include "core/scroll_controller.h"
+#include "core/sensor_curve.h"
+#include "core/speed_zoom.h"
+#include "display/bt96040.h"
+#include "display/display_driver.h"
+#include "hw/smart_its.h"
+#include "input/button.h"
+#include "input/debouncer.h"
+#include "input/potentiometer.h"
+#include "menu/menu.h"
+#include "sensors/adxl311.h"
+#include "sensors/gp2d120.h"
+#include "wireless/packet.h"
+
+namespace distscroll::core {
+
+enum class LongMenuStrategy : std::uint8_t {
+  Plain,      // islands = level size, however many that is
+  Chunked,    // islands = chunk size; aux button pages chunks
+  SpeedZoom,  // fixed island count + speed-dependent zooming
+};
+
+class DistScrollDevice {
+ public:
+  struct Config {
+    hw::SmartIts::Config board{};
+    sensors::Gp2d120Model::Config sensor{};
+    sensors::Adxl311Model::Config accel{};
+    SensorCurve curve{};  // the firmware's calibrated curve
+    IslandMapper::Config islands{};
+    ScrollController::Config scroll{};
+    LongMenuStrategy long_menu = LongMenuStrategy::Plain;
+    std::size_t chunk_size = 10;
+    std::size_t speed_zoom_islands = 10;
+    SpeedZoom::Config speed_zoom{};
+    bool enable_fast_scroll = false;
+    FastScrollMode::Config fast_scroll{};
+    /// Second (recessed) ranger resolving the < 4 cm fold-back
+    /// ambiguity (the board's unused second sensor, Section 4).
+    bool use_dual_sensor = false;
+    DualRangeResolver::Config dual_sensor{};
+    /// Accelerometer-based posture gating (Section 4.3's planned
+    /// "context determination"): suspend scrolling when the device is
+    /// lowered or laid down.
+    bool enable_context_gate = false;
+    ContextGate::Config context_gate{};
+    /// Physical button arrangement (Sections 4.5 / 6). The single-
+    /// large-button layout uses press duration: short = select, long
+    /// (>= long_press.threshold_s) = back.
+    ButtonLayout button_layout = ButtonLayout::ThreeButtonRight;
+    LongPressConfig long_press{};
+    /// Duty-cycle the ranger when idle: after `idle_after` without a
+    /// selection change or button, sample only every `idle_divider`-th
+    /// tick and drop the sensor's battery draw accordingly.
+    bool enable_sensor_duty_cycle = false;
+    util::Seconds idle_after{5.0};
+    int idle_divider = 10;
+    util::Seconds firmware_tick{20e-3};
+    util::Seconds button_tick{1e-3};
+    int telemetry_divider = 2;  // state frame every N firmware ticks
+    input::Button::Config button{};
+  };
+
+  DistScrollDevice(Config config, const menu::MenuNode& menu_root, sim::EventQueue& queue,
+                   sim::Rng rng);
+
+  // --- the physical situation ------------------------------------------
+  /// The hand holding the device: true body-to-device distance over time.
+  void set_distance_provider(std::function<util::Centimeters(util::Seconds)> provider);
+  /// Device tilt (for the accelerometer; the tilt baselines reuse it).
+  void set_tilt_provider(std::function<util::Radians(util::Seconds)> provider);
+  /// What the sensor looks at (clothing, lab coat, reflective vest...).
+  void set_surface(sensors::SurfaceProfile surface);
+
+  void power_on();
+  void power_off();
+  [[nodiscard]] bool powered() const { return powered_; }
+  /// True once the battery sagged below the regulator cutoff and the
+  /// device shut itself down.
+  [[nodiscard]] bool browned_out() const { return browned_out_; }
+
+  /// Boot-time calibration: load a persisted record from the data
+  /// EEPROM (falls back to the config's default curve when missing or
+  /// corrupt). Returns whether a stored calibration was applied.
+  bool load_calibration_from_eeprom();
+  /// Persist the current curve (e.g. after a calibration sweep).
+  void save_calibration_to_eeprom(const CalibrationResult& calibration);
+  [[nodiscard]] hw::Eeprom& eeprom() { return eeprom_; }
+  [[nodiscard]] bool calibrated_from_eeprom() const { return calibrated_from_eeprom_; }
+
+  // --- the user's fingers ------------------------------------------------
+  input::Button& select_button() { return *buttons_[0]; }  // top right, thumb
+  input::Button& back_button() { return *buttons_[1]; }    // left side
+  input::Button& aux_button() { return *buttons_[2]; }     // left side (chunk paging)
+
+  // --- state inspection (host/study side) --------------------------------
+  [[nodiscard]] const menu::MenuCursor& cursor() const { return cursor_; }
+  [[nodiscard]] const display::Bt96040& top_display() const { return top_panel_; }
+  [[nodiscard]] const display::Bt96040& bottom_display() const { return bottom_panel_; }
+  [[nodiscard]] hw::SmartIts& board() { return board_; }
+  [[nodiscard]] const hw::SmartIts& board() const { return board_; }
+  [[nodiscard]] const IslandMapper& mapper() const { return *mapper_; }
+  [[nodiscard]] const ScrollController& controller() const { return *controller_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::optional<std::size_t> current_chunk() const;
+  [[nodiscard]] util::AdcCounts last_counts() const { return last_counts_; }
+  /// Posture gate state (always true when the gate is disabled).
+  [[nodiscard]] bool scrolling_enabled() const;
+  /// Whether the ranger is currently duty-cycled down.
+  [[nodiscard]] bool sensor_idle() const { return sensor_idle_; }
+
+  struct SelectionEvent {
+    double time_s;
+    std::string label;
+    bool is_leaf;
+    std::size_t depth;  // depth after the event
+  };
+  [[nodiscard]] const std::vector<SelectionEvent>& selections() const { return selections_; }
+  void on_leaf_activated(std::function<void(const SelectionEvent&)> cb) {
+    leaf_callback_ = std::move(cb);
+  }
+
+  /// Redraws counted (for display-churn diagnostics).
+  [[nodiscard]] std::uint64_t redraws() const { return redraws_; }
+
+  /// Contrast potentiometer (user-adjustable, drives display bias).
+  input::Potentiometer& contrast_pot() { return pot_; }
+
+ private:
+  void firmware_tick();
+  void button_tick();
+  void rebuild_mapping();
+  void apply_entry(std::size_t absolute_index);
+  void handle_select();
+  void handle_back();
+  void handle_aux();
+  void advance_chunk();
+  void mark_activity(util::Seconds now);
+  void redraw();
+  void send_state_frame();
+
+  Config config_;
+  sim::EventQueue* queue_;
+  hw::SmartIts board_;
+  hw::Eeprom eeprom_;
+  sensors::Gp2d120Model ranger_;
+  sensors::Adxl311Model accel_;
+  display::Bt96040 top_panel_;
+  display::Bt96040 bottom_panel_;
+  display::DisplayDriver top_driver_;
+  display::DisplayDriver bottom_driver_;
+  input::Potentiometer pot_;
+  std::vector<std::unique_ptr<input::Button>> buttons_;
+  std::vector<input::Debouncer> debouncers_;
+
+  const menu::MenuNode* menu_root_;
+  menu::MenuCursor cursor_;
+
+  std::unique_ptr<IslandMapper> mapper_;
+  std::unique_ptr<ScrollController> controller_;
+  std::unique_ptr<ChunkedScroll> chunker_;
+  std::unique_ptr<SpeedZoom> zoom_;
+  std::unique_ptr<FastScrollMode> fast_scroll_;
+  std::unique_ptr<sensors::Gp2d120Model> secondary_ranger_;
+  std::unique_ptr<DualRangeResolver> dual_resolver_;
+  std::unique_ptr<ContextGate> context_gate_;
+
+  std::function<util::Centimeters(util::Seconds)> distance_provider_;
+  std::function<util::Radians(util::Seconds)> tilt_provider_;
+
+  std::size_t ranger_channel_ = 0;
+  std::size_t secondary_channel_ = 0;
+  std::size_t accel_x_channel_ = 0;
+  std::size_t accel_y_channel_ = 0;
+  std::size_t pot_channel_ = 0;
+  std::size_t sensor_draw_ = 0;
+  std::size_t display_draw_ = 0;
+
+  bool powered_ = false;
+  bool browned_out_ = false;
+  bool calibrated_from_eeprom_ = false;
+  std::size_t firmware_timer_ = 0;
+  std::size_t button_timer_ = 0;
+  int ticks_since_telemetry_ = 0;
+  // Duty-cycle / long-press / activity state.
+  bool sensor_idle_ = false;
+  int ticks_since_sample_ = 0;
+  double last_activity_s_ = 0.0;
+  double select_pressed_at_s_ = -1.0;
+  std::uint8_t telemetry_seq_ = 0;
+  util::AdcCounts last_counts_{0};
+  std::uint64_t redraws_ = 0;
+  std::vector<SelectionEvent> selections_;
+  std::function<void(const SelectionEvent&)> leaf_callback_;
+};
+
+}  // namespace distscroll::core

@@ -1,0 +1,64 @@
+// Dual-ranger disambiguation.
+//
+// The prototype board carries TWO distance sensors, "only one is used in
+// our experiments so far" (paper Section 4). This module puts the second
+// one to work: mounted recessed by `offset_cm` inside the case, it sees
+// the same target `offset_cm` farther away. Because the GP2D120 response
+// folds back below its ~3.2 cm peak, a single reading is ambiguous
+// (paper: "it cannot be detected if the device is moved away (> 4cm) or
+// towards the user (< 4 cm)") — but the recessed sensor sits on the
+// monotone branch even when the primary has folded back, so comparing
+// the two readings resolves the fold.
+//
+// Resolution algorithm: form both candidate distances from the primary
+// reading (monotone-branch inverse and fold-back-branch inverse),
+// predict the secondary's reading for each candidate, pick the candidate
+// with the smaller prediction error.
+#pragma once
+
+#include <optional>
+
+#include "core/sensor_curve.h"
+#include "util/units.h"
+
+namespace distscroll::core {
+
+class DualRangeResolver {
+ public:
+  struct Config {
+    /// How much deeper the secondary sensor sits in the case.
+    double offset_cm = 3.0;
+    /// The sensors' shared response peak (fold point).
+    double peak_cm = 3.2;
+    /// Output at touching distance (rising-branch anchor), in volts.
+    double dead_zone_volts = 0.45;
+    /// Reject resolutions whose best prediction error exceeds this many
+    /// ADC counts (e.g. a specular glitch on one sensor).
+    double max_residual_counts = 40.0;
+  };
+
+  DualRangeResolver(SensorCurve primary, SensorCurve secondary, Config config)
+      : primary_(primary), secondary_(secondary), config_(config) {}
+
+  struct Resolution {
+    util::Centimeters distance{0.0};
+    bool folded = false;      // true: the primary was below its peak
+    double residual_counts = 0.0;
+  };
+
+  /// Resolve the true distance from simultaneous readings. nullopt when
+  /// neither candidate explains the secondary reading (sensor glitch).
+  [[nodiscard]] std::optional<Resolution> resolve(util::AdcCounts primary,
+                                                  util::AdcCounts secondary) const;
+
+  /// The fold-back branch inverse of the primary: distance below the
+  /// peak that produces `v` (linear rising branch, see Gp2d120Model).
+  [[nodiscard]] std::optional<util::Centimeters> fold_branch_distance(util::Volts v) const;
+
+ private:
+  SensorCurve primary_;
+  SensorCurve secondary_;
+  Config config_;
+};
+
+}  // namespace distscroll::core

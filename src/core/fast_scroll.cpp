@@ -1,0 +1,28 @@
+#include "core/fast_scroll.h"
+
+namespace distscroll::core {
+
+int FastScrollMode::on_sample(util::Seconds now, util::AdcCounts counts) {
+  return on_zone(now, counts.value > config_.threshold_counts);
+}
+
+int FastScrollMode::on_zone(util::Seconds now, bool in_zone) {
+  if (!in_zone) {
+    active_ = false;
+    return 0;
+  }
+  if (!active_) {
+    // Entering the turbo zone: step immediately, then at repeat pace.
+    active_ = true;
+    last_step_ = now;
+    return 1;
+  }
+  int steps = 0;
+  while (now.value - last_step_.value >= config_.repeat_period.value) {
+    last_step_ = last_step_ + config_.repeat_period;
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace distscroll::core

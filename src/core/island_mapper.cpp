@@ -1,0 +1,130 @@
+#include "core/island_mapper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace distscroll::core {
+
+IslandMapper::IslandMapper(const SensorCurve& curve, std::size_t entries, Config config)
+    : config_(config) {
+  assert(entries >= 1);
+  assert(config.near < config.far);
+  assert(config.coverage > 0.0 && config.coverage <= 1.0);
+
+  const double span = config.far.value - config.near.value;
+  const double slot = span / static_cast<double>(entries);
+
+  // Entry centres at equally spaced distances: the perceptual uniformity
+  // the paper engineers for.
+  std::vector<double> centre_counts(entries);
+  centres_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const util::Centimeters d{config.near.value + (static_cast<double>(i) + 0.5) * slot};
+    centres_[i] = d;
+    centre_counts[i] = curve.counts_at(d).value;
+  }
+
+  spectrum_high_ = curve.counts_at(config_.near).value;
+  spectrum_low_ = curve.counts_at(config_.far).value;
+
+  islands_.resize(entries);
+  // `bound`: the next island's high end must stay strictly below it so
+  // the table remains disjoint after integer rounding (binary-search
+  // invariant). When the ADC runs out of resolution an island collapses
+  // to an empty interval (low > high) — that entry is genuinely
+  // unreachable by distance alone, which the long-menu experiments
+  // surface.
+  int bound = 1024;
+  for (std::size_t i = 0; i < entries; ++i) {
+    // Counts decrease with distance, so the *upper* count bound faces the
+    // nearer neighbour (i-1) and the lower bound the farther one (i+1).
+    const double up_gap = (i == 0) ? spectrum_high_ - centre_counts[0]
+                                   : (centre_counts[i - 1] - centre_counts[i]) / 2.0;
+    const double down_gap = (i + 1 == entries)
+                                ? centre_counts[i] - spectrum_low_
+                                : (centre_counts[i] - centre_counts[i + 1]) / 2.0;
+    double high_d = centre_counts[i] + std::max(0.0, up_gap) * config_.coverage;
+    double low_d = centre_counts[i] - std::max(0.0, down_gap) * config_.coverage;
+    high_d = std::clamp(high_d, 0.0, 1023.0);
+    low_d = std::clamp(low_d, 0.0, std::max(0.0, high_d));
+
+    int high = std::min(static_cast<int>(std::lround(high_d)), bound - 1);
+    int low = static_cast<int>(std::lround(low_d));
+    if (high < 0) high = 0;
+    if (low > high) {
+      // Squeezed out by quantisation: empty interval positioned at
+      // `high` so the table stays ordered.
+      low = high + 1;
+      bound = high + 1;
+    } else {
+      bound = low;
+    }
+    const int centre = std::clamp(static_cast<int>(std::lround(centre_counts[i])),
+                                  std::min(low, high), high);
+    islands_[i] = Island{static_cast<std::uint16_t>(low), static_cast<std::uint16_t>(high),
+                         static_cast<std::uint16_t>(std::max(0, centre))};
+  }
+}
+
+std::optional<std::size_t> IslandMapper::lookup(util::AdcCounts counts) const {
+  // Islands are ordered by descending counts (entry 0 nearest/highest).
+  // Binary search for the first island whose low bound is <= counts.
+  const std::uint16_t x = counts.value;
+  std::size_t lo = 0, hi = islands_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (islands_[mid].high < x) {
+      // x is above this island -> nearer entries (smaller index).
+      hi = mid;
+    } else if (islands_[mid].low > x) {
+      lo = mid + 1;
+    } else {
+      return mid;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> IslandMapper::select(util::AdcCounts counts,
+                                                std::optional<std::size_t> current) const {
+  if (current && *current < islands_.size() && config_.hysteresis_counts > 0) {
+    const Island& island = islands_[*current];
+    const int x = counts.value;
+    const int lo = static_cast<int>(island.low) - config_.hysteresis_counts;
+    const int hi = static_cast<int>(island.high) + config_.hysteresis_counts;
+    if (x >= lo && x <= hi) return current;
+  }
+  auto hit = lookup(counts);
+  if (hit) return hit;
+  // Selection-free gap: "No selection or change happens if the device is
+  // held in a distance between two of those islands."
+  return current;
+}
+
+double IslandMapper::coverage_fraction() const {
+  double covered = 0.0;
+  for (const auto& island : islands_) {
+    if (island.high >= island.low) {
+      covered += static_cast<double>(island.high - island.low) + 1.0;
+    }
+  }
+  const double spectrum = spectrum_high_ - spectrum_low_ + 1.0;
+  if (spectrum <= 0.0) return 0.0;
+  return std::min(1.0, covered / spectrum);
+}
+
+util::Centimeters IslandMapper::centre_distance(std::size_t entry) const {
+  assert(entry < centres_.size());
+  return centres_[entry];
+}
+
+std::uint64_t IslandMapper::lookup_cost_cycles() const {
+  // Binary search: ~14 cycles per probe (compare, branch, index math on
+  // an 8-bit core handling 16-bit values) plus fixed overhead.
+  const auto probes = static_cast<std::uint64_t>(
+      std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(2, islands_.size())))));
+  return 12 + probes * 14;
+}
+
+}  // namespace distscroll::core

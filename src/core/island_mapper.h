@@ -1,0 +1,92 @@
+// The paper's sensor-value-to-entry mapping (Section 4.2).
+//
+// "We first chose how many entities lie in a given data structure and
+//  then distributed these entities as described over the sensor range.
+//  We calculated the expected sensor values by inserting the distance
+//  ... in the function in Figure 5. We then defined islands around the
+//  calculated sensor values in such a manner that in this interval a
+//  specific entry is selected. These islands do not cover the complete
+//  spectrum of possible values, there are intervals in which no entry is
+//  selected. By this, we provide the user with the perception that the
+//  entries are equally spaced on the complete scrollable distance."
+//
+// Implementation: entries are placed at equally spaced *distances*
+// within [near, far]; each entry's island is the expected-count interval
+// around its centre count, shrunk by `coverage` (< 1 leaves the paper's
+// selection-free gaps). Because the sensor curve is hyperbolic, islands
+// are wide (in counts) near the body and narrow far away — the
+// non-linear placement that makes spacing *feel* uniform in cm.
+//
+// The mapper runs in "firmware" conditions: integer ADC counts in, an
+// index (or no-change) out, O(log N) lookup over a table that fits the
+// PIC's RAM budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/sensor_curve.h"
+#include "util/units.h"
+
+namespace distscroll::core {
+
+class IslandMapper {
+ public:
+  struct Config {
+    util::Centimeters near{4.0};   // the paper's predicted usage range
+    util::Centimeters far{30.0};
+    /// Fraction of each inter-centre gap covered by the island
+    /// (0 < coverage <= 1; 1.0 makes islands touch, eliminating the
+    /// selection-free intervals).
+    double coverage = 0.6;
+    /// Extra hysteresis: once inside an island, the reading must leave
+    /// the island *plus* this many counts before the selection can
+    /// change. 0 reproduces the paper's plain islands.
+    std::uint16_t hysteresis_counts = 0;
+  };
+
+  /// Builds islands for `entries` menu entries using the (calibrated)
+  /// sensor curve. Precondition: entries >= 1, near < far.
+  IslandMapper(const SensorCurve& curve, std::size_t entries, Config config);
+
+  [[nodiscard]] std::size_t entries() const { return islands_.size(); }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  struct Island {
+    std::uint16_t low;     // inclusive ADC-count bounds; low > high marks an
+    std::uint16_t high;    // empty island (entry unresolvable by the ADC)
+    std::uint16_t centre;  // expected counts at the entry's centre distance
+  };
+  [[nodiscard]] const std::vector<Island>& islands() const { return islands_; }
+
+  /// The stateless lookup: which entry's island contains `counts`?
+  /// nullopt inside a selection-free gap or out of range.
+  [[nodiscard]] std::optional<std::size_t> lookup(util::AdcCounts counts) const;
+
+  /// The stateful firmware query: applies hysteresis relative to the
+  /// currently selected entry. Returns the new selection (which may be
+  /// unchanged); nullopt means "in a gap — keep whatever you had".
+  [[nodiscard]] std::optional<std::size_t> select(util::AdcCounts counts,
+                                                  std::optional<std::size_t> current) const;
+
+  /// Fraction of the count spectrum [far-counts, near-counts] covered by
+  /// islands (for the ablation bench).
+  [[nodiscard]] double coverage_fraction() const;
+
+  /// Distance of an entry's centre (for display/debug).
+  [[nodiscard]] util::Centimeters centre_distance(std::size_t entry) const;
+
+  /// Approximate firmware cost of one lookup in PIC instruction cycles
+  /// (binary search over the island table).
+  [[nodiscard]] std::uint64_t lookup_cost_cycles() const;
+
+ private:
+  Config config_;
+  std::vector<Island> islands_;  // index 0 = nearest entry
+  std::vector<util::Centimeters> centres_;
+  double spectrum_high_ = 1023.0;  // expected counts at `near`
+  double spectrum_low_ = 0.0;      // expected counts at `far`
+};
+
+}  // namespace distscroll::core

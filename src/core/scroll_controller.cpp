@@ -1,0 +1,75 @@
+#include "core/scroll_controller.h"
+
+#include <algorithm>
+
+namespace distscroll::core {
+
+std::size_t ScrollController::to_menu_index(std::size_t island_index) const {
+  // Island 0 is the NEAREST entry. "Toward user scrolls down" therefore
+  // means the nearest island is the bottom of the menu.
+  if (config_.direction == ScrollDirection::TowardUserScrollsDown) {
+    return mapper_->entries() - 1 - island_index;
+  }
+  return island_index;
+}
+
+std::uint16_t ScrollController::apply_smoothing(std::uint16_t raw, std::uint64_t& cycles) {
+  switch (config_.smoothing) {
+    case Smoothing::Raw:
+      cycles += 2;  // just a register move
+      return raw;
+    case Smoothing::Median3: {
+      median_window_.push_overwrite(raw);
+      std::uint16_t a = raw, b = raw, c = raw;
+      if (median_window_.size() >= 1) a = median_window_.at_from_oldest(0);
+      if (median_window_.size() >= 2) b = median_window_.at_from_oldest(1);
+      if (median_window_.size() >= 3) c = median_window_.at_from_oldest(2);
+      // Median of three: ~9 compares/moves on the PIC.
+      cycles += 18;
+      const std::uint16_t lo = std::min({a, b, c});
+      const std::uint16_t hi = std::max({a, b, c});
+      return static_cast<std::uint16_t>(a + b + c - lo - hi);
+    }
+    case Smoothing::Ema: {
+      // Fixed-point EMA with alpha = 1/4: state is counts << 2.
+      if (ema_state_ < 0) ema_state_ = static_cast<std::int32_t>(raw) << 2;
+      ema_state_ += ((static_cast<std::int32_t>(raw) << 2) - ema_state_) >> 2;
+      cycles += 10;  // shift-add on 16/32-bit emulated arithmetic
+      return static_cast<std::uint16_t>(ema_state_ >> 2);
+    }
+  }
+  return raw;
+}
+
+ScrollController::Update ScrollController::on_sample(util::AdcCounts raw) {
+  Update update;
+  ++samples_;
+  const std::uint16_t filtered = apply_smoothing(raw.value, update.cycles);
+
+  const auto before = island_selection_;
+  // Gap statistics use the stateless lookup; the firmware itself only
+  // pays for the (single) stateful select below.
+  if (!mapper_->lookup(util::AdcCounts{filtered})) ++gap_samples_;
+  const auto hit = mapper_->select(util::AdcCounts{filtered}, island_selection_);
+  update.cycles += mapper_->lookup_cost_cycles();
+  if (hit) island_selection_ = hit;
+  if (island_selection_ != before) {
+    ++changes_;
+    update.changed = true;
+  }
+  update.menu_index = selection();
+  return update;
+}
+
+std::optional<std::size_t> ScrollController::selection() const {
+  if (!island_selection_) return std::nullopt;
+  return to_menu_index(*island_selection_);
+}
+
+void ScrollController::reset() {
+  island_selection_.reset();
+  median_window_.clear();
+  ema_state_ = -1;
+}
+
+}  // namespace distscroll::core

@@ -1,0 +1,84 @@
+// Turns the raw ADC sample stream into menu-cursor positions.
+//
+// Holds the firmware-side policy knobs the paper leaves open:
+//  * direction mapping — "we are currently analyzing whether it is more
+//    intuitive to move the DistScroll towards oneself to scroll down or
+//    to scroll up" (Section 5.1 / open issue Q5);
+//  * input smoothing — the paper reads the parameter "directly ...
+//    without the need of heavy input processing"; raw lookup is the
+//    paper's mode, median-3 and EMA are the ablation alternatives.
+//
+// All arithmetic is integer, and each processed sample reports its PIC
+// cycle cost so the "no heavy processing" claim can be benchmarked.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/island_mapper.h"
+#include "util/ring_buffer.h"
+#include "util/units.h"
+
+namespace distscroll::core {
+
+enum class ScrollDirection : std::uint8_t {
+  /// Moving the device toward the body scrolls DOWN the menu (nearest
+  /// island = last entry).
+  TowardUserScrollsDown,
+  /// Moving toward the body scrolls UP (nearest island = first entry).
+  TowardUserScrollsUp,
+};
+
+enum class Smoothing : std::uint8_t {
+  Raw,      // the paper's direct mapping
+  Median3,  // kills single-sample glitches (specular boundaries)
+  Ema,      // exponential moving average, alpha = 1/4
+};
+
+class ScrollController {
+ public:
+  struct Config {
+    ScrollDirection direction = ScrollDirection::TowardUserScrollsDown;
+    Smoothing smoothing = Smoothing::Raw;
+  };
+
+  ScrollController(const IslandMapper& mapper, Config config)
+      : mapper_(&mapper), config_(config) {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const IslandMapper& mapper() const { return *mapper_; }
+
+  struct Update {
+    std::optional<std::size_t> menu_index;  // current selection after this sample
+    bool changed = false;                   // selection moved this sample
+    std::uint64_t cycles = 0;               // firmware cost of this sample
+  };
+
+  /// Process one ADC sample.
+  Update on_sample(util::AdcCounts raw);
+
+  /// Current selection as a menu index (nullopt before first island hit).
+  [[nodiscard]] std::optional<std::size_t> selection() const;
+
+  void reset();
+
+  // Stream statistics for the study harness.
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t selection_changes() const { return changes_; }
+  [[nodiscard]] std::uint64_t gap_samples() const { return gap_samples_; }
+
+ private:
+  [[nodiscard]] std::size_t to_menu_index(std::size_t island_index) const;
+  std::uint16_t apply_smoothing(std::uint16_t raw, std::uint64_t& cycles);
+
+  const IslandMapper* mapper_;
+  Config config_;
+  std::optional<std::size_t> island_selection_;
+  util::RingBuffer<std::uint16_t, 3> median_window_;
+  std::int32_t ema_state_ = -1;  // scaled by 4 to keep fractional bits
+  std::uint64_t samples_ = 0;
+  std::uint64_t changes_ = 0;
+  std::uint64_t gap_samples_ = 0;
+};
+
+}  // namespace distscroll::core

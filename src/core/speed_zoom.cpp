@@ -1,0 +1,95 @@
+#include "core/speed_zoom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace distscroll::core {
+
+SpeedZoom::SpeedZoom(std::size_t total_entries, std::size_t islands, Config config)
+    : config_(config),
+      total_(std::max<std::size_t>(1, total_entries)),
+      islands_(std::max<std::size_t>(2, islands)) {
+  bucket_size_ = (total_ + islands_ - 1) / islands_;
+  mode_ = (total_ > islands_) ? Mode::Coarse : Mode::Fine;
+}
+
+std::size_t SpeedZoom::coarse_entry(std::size_t island_index) const {
+  // Each island addresses the middle of a bucket.
+  const std::size_t bucket = std::min(island_index, islands_ - 1);
+  const std::size_t start = bucket * bucket_size_;
+  const std::size_t end = std::min(start + bucket_size_, total_);
+  if (start >= total_) return total_ - 1;
+  return start + (end - start) / 2;
+}
+
+std::size_t SpeedZoom::fine_entry(std::size_t island_index) const {
+  // Islands address entries inside the anchored bucket; islands beyond
+  // the bucket clamp to its edges (the user can zoom out again by
+  // moving fast).
+  const std::size_t start = anchor_bucket_ * bucket_size_;
+  const std::size_t end = std::min(start + bucket_size_, total_);
+  if (start >= total_) return total_ - 1;
+  // Spread the islands across the bucket.
+  const std::size_t span = end - start;
+  const std::size_t offset =
+      span <= 1 ? 0 : island_index * (span - 1) / (islands_ - 1);
+  return start + std::min(offset, span - 1);
+}
+
+std::size_t SpeedZoom::on_update(util::Seconds now, std::size_t island_index) {
+  island_index = std::min(island_index, islands_ - 1);
+  const double dt = std::max(1e-4, now.value - last_update_time_.value);
+  last_update_time_ = now;
+
+  if (last_island_ && *last_island_ != island_index) {
+    const double hops = std::abs(static_cast<double>(island_index) -
+                                 static_cast<double>(*last_island_));
+    const double inst_velocity = hops / dt;
+    velocity_ += config_.velocity_alpha * (inst_velocity - velocity_);
+    last_change_time_ = now;
+  } else {
+    // Decay the estimate during dwell.
+    velocity_ *= std::exp(-dt / std::max(1e-3, config_.zoom_in_dwell.value));
+  }
+  last_island_ = island_index;
+
+  if (total_ <= islands_) {
+    // Menu fits the islands: always fine, identity-ish mapping.
+    mode_ = Mode::Fine;
+    anchor_bucket_ = 0;
+    current_entry_ = std::min(island_index, total_ - 1);
+    return current_entry_;
+  }
+
+  switch (mode_) {
+    case Mode::Coarse:
+      current_entry_ = coarse_entry(island_index);
+      if (velocity_ < config_.zoom_out_velocity &&
+          (now.value - last_change_time_.value) >= config_.zoom_in_dwell.value) {
+        // Dwelled long enough: zoom into the bucket under the cursor.
+        anchor_bucket_ = std::min(island_index, islands_ - 1);
+        mode_ = Mode::Fine;
+      }
+      break;
+    case Mode::Fine:
+      current_entry_ = fine_entry(island_index);
+      if (velocity_ >= config_.zoom_out_velocity) {
+        mode_ = Mode::Coarse;
+      }
+      break;
+  }
+  return current_entry_;
+}
+
+void SpeedZoom::reset() {
+  mode_ = (total_ > islands_) ? Mode::Coarse : Mode::Fine;
+  velocity_ = 0.0;
+  last_island_.reset();
+  last_change_time_ = util::Seconds{0.0};
+  last_update_time_ = util::Seconds{0.0};
+  anchor_bucket_ = 0;
+  current_entry_ = 0;
+}
+
+}  // namespace distscroll::core

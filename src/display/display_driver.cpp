@@ -1,0 +1,68 @@
+#include "display/display_driver.h"
+
+#include <vector>
+
+namespace distscroll::display {
+
+util::Seconds DisplayDriver::command(Command cmd, std::initializer_list<std::uint8_t> args) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(1 + args.size());
+  frame.push_back(static_cast<std::uint8_t>(cmd));
+  frame.insert(frame.end(), args.begin(), args.end());
+  const auto result = bus_->write(address_, frame);
+  last_acked_ = result.acked;
+  return result.bus_time;
+}
+
+util::Seconds DisplayDriver::text_command(int row, int col, std::string_view text) {
+  util::Seconds total = command(Command::SetCursor,
+                                {static_cast<std::uint8_t>(row), static_cast<std::uint8_t>(col)});
+  std::vector<std::uint8_t> frame;
+  frame.reserve(1 + text.size());
+  frame.push_back(static_cast<std::uint8_t>(Command::Text));
+  for (char c : text) frame.push_back(static_cast<std::uint8_t>(c));
+  const auto result = bus_->write(address_, frame);
+  last_acked_ = last_acked_ && result.acked;
+  return total + result.bus_time;
+}
+
+util::Seconds DisplayDriver::clear() {
+  shadow_valid_ = false;
+  return command(Command::Clear, {});
+}
+
+util::Seconds DisplayDriver::write_at(int row, int col, std::string_view text) {
+  shadow_valid_ = false;  // direct writes invalidate the show() cache
+  return text_command(row, col, text);
+}
+
+util::Seconds DisplayDriver::set_line_inverted(int row, bool inverted) {
+  return command(Command::InvertLine,
+                 {static_cast<std::uint8_t>(row), static_cast<std::uint8_t>(inverted ? 1 : 0)});
+}
+
+util::Seconds DisplayDriver::set_contrast(std::uint8_t level) {
+  return command(Command::SetContrast, {level});
+}
+
+util::Seconds DisplayDriver::show(const std::array<std::string, kTextLines>& lines,
+                                  int highlighted_row) {
+  util::Seconds total{0.0};
+  for (int row = 0; row < kTextLines; ++row) {
+    auto& shadow_line = shadow_[static_cast<std::size_t>(row)];
+    std::string padded = lines[static_cast<std::size_t>(row)].substr(0, kTextColumns);
+    padded.resize(kTextColumns, ' ');
+    const bool highlight_changed =
+        shadow_valid_ && ((shadow_highlight_ == row) != (highlighted_row == row));
+    if (shadow_valid_ && shadow_line == padded && !highlight_changed) continue;
+    // Order matters: set polarity first so the glyphs render with it.
+    total = total + set_line_inverted(row, highlighted_row == row);
+    total = total + text_command(row, 0, padded);
+    shadow_line = padded;
+  }
+  shadow_highlight_ = highlighted_row;
+  shadow_valid_ = true;
+  return total;
+}
+
+}  // namespace distscroll::display

@@ -1,0 +1,22 @@
+// Classic 5x7 bitmap font (public-domain glyph set, as shipped in
+// countless character LCD controllers). Each glyph is five column bytes,
+// LSB = top row. The BT96040 text mode renders these with a one-column
+// advance gap, giving 16 characters per 96-pixel line and 5 text lines
+// on the 40-pixel-high panel — matching the paper's "5 lines in text
+// mode".
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace distscroll::display {
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+inline constexpr int kGlyphAdvance = 6;  // 5 columns + 1 gap
+
+/// Returns the five column bytes for a printable ASCII character
+/// (32..126); unknown characters render as the 0x7F "box".
+[[nodiscard]] const std::array<std::uint8_t, 5>& glyph(char c);
+
+}  // namespace distscroll::display

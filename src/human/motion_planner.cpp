@@ -1,0 +1,428 @@
+#include "human/motion_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "baselines/button_scroll.h"
+#include "baselines/wheel_scroll.h"
+#include "human/fitts.h"
+#include "human/hand_model.h"
+
+namespace distscroll::human {
+
+namespace {
+
+/// Perceived-cursor buffer: the user reacts to where the cursor WAS
+/// reaction_time ago, not where it is.
+class DelayedPerception {
+ public:
+  explicit DelayedPerception(double delay_s) : delay_s_(delay_s) {}
+
+  void observe(double t, long cursor) { history_.push_back({t, cursor}); }
+
+  [[nodiscard]] long perceived(double t) {
+    const double cutoff = t - delay_s_;
+    while (history_.size() > 1 && history_[1].t <= cutoff) history_.pop_front();
+    return history_.empty() ? 0 : history_.front().cursor;
+  }
+
+ private:
+  struct Sample {
+    double t;
+    long cursor;
+  };
+  double delay_s_;
+  std::deque<Sample> history_;
+};
+
+/// Counts sign changes of (cursor - target): each full crossing is an
+/// overshoot.
+class OvershootCounter {
+ public:
+  explicit OvershootCounter(long target) : target_(target) {}
+
+  void observe(long cursor) {
+    const int sign = cursor > target_ ? 1 : (cursor < target_ ? -1 : 0);
+    if (sign != 0 && last_sign_ != 0 && sign != last_sign_) ++count_;
+    if (sign != 0) last_sign_ = sign;
+  }
+
+  [[nodiscard]] int count() const { return count_; }
+
+ private:
+  long target_;
+  int last_sign_ = 0;
+  int count_ = 0;
+};
+
+}  // namespace
+
+double MotionPlanner::effective_fine_penalty(const baselines::ScrollTechnique& t,
+                                             const UserProfile& p) {
+  return 1.0 + (p.fine_motor_penalty - 1.0) * t.glove_sensitivity();
+}
+
+double MotionPlanner::effective_miss_probability(const baselines::ScrollTechnique& t,
+                                                 const UserProfile& p) {
+  return std::min(0.7, p.button_miss_probability * t.glove_sensitivity());
+}
+
+AcquisitionOutcome MotionPlanner::acquire(baselines::ScrollTechnique& technique,
+                                          std::size_t target, const UserProfile& profile) {
+  const long start = static_cast<long>(technique.cursor());
+  AcquisitionOutcome outcome;
+  switch (technique.spec().style) {
+    case baselines::ControlStyle::AbsolutePosition:
+      outcome = run_absolute(technique, target, profile);
+      break;
+    case baselines::ControlStyle::RateControl:
+      outcome = run_rate(technique, target, profile);
+      break;
+    case baselines::ControlStyle::RelativeStroke:
+      outcome = run_stroke(technique, target, profile);
+      break;
+    case baselines::ControlStyle::RelativeUnbounded:
+      outcome = run_unbounded(technique, target, profile);
+      break;
+    case baselines::ControlStyle::DiscreteSteps:
+      outcome = run_discrete(technique, target, profile);
+      break;
+  }
+  outcome.id_bits =
+      std::log2(std::abs(start - static_cast<long>(target)) + 1.0);
+  return outcome;
+}
+
+bool MotionPlanner::commit_selection(baselines::ScrollTechnique& t, std::size_t target,
+                                     const UserProfile& p, double hold_u, bool feed_control,
+                                     AcquisitionOutcome& outcome) {
+  const double penalty = effective_fine_penalty(t, p);
+  const double press_time = p.button_press_s * penalty;
+  // Press slips entirely with the glove-scaled miss probability.
+  if (rng_.bernoulli(effective_miss_probability(t, p))) {
+    outcome.time_s += press_time * 1.5;  // failed press + noticing
+    return false;
+  }
+  // Holding the channel steady during the press: tremor may push an
+  // absolute channel across an island boundary mid-press.
+  if (feed_control) {
+    Tremor tremor(p.tremor, rng_.fork(777));
+    const double t0 = outcome.time_s;
+    for (double dt = 0.0; dt < press_time; dt += config_.dt_s) {
+      t.on_control(util::Seconds{t0 + dt}, hold_u + tremor.displacement_cm(t0 + dt));
+    }
+  }
+  outcome.time_s += press_time;
+  if (t.cursor() != target) {
+    ++outcome.wrong_selections;
+    return false;
+  }
+  return true;
+}
+
+AcquisitionOutcome MotionPlanner::run_absolute(baselines::ScrollTechnique& t, std::size_t target,
+                                               const UserProfile& p) {
+  AcquisitionOutcome outcome;
+  const auto spec = t.spec();
+  const auto maybe_target_u = t.target_u(target);
+  if (!maybe_target_u) return outcome;
+  const double goal_u = *maybe_target_u;
+  const double width_u = t.target_width_u(target);
+
+  Tremor tremor(p.tremor, rng_.fork(1));
+  OvershootCounter overshoots(static_cast<long>(target));
+  double u = spec.u_neutral;
+  double now = 0.0;
+  bool first_move = true;
+
+  while (now < config_.timeout_s) {
+    // Aim with amplitude-proportional scatter; corrective movements aim
+    // tighter (shorter amplitude => smaller sigma by Schmidt's law).
+    const double amplitude = std::abs(goal_u - u);
+    const double sigma = p.aim_w0_cm + p.aim_w1 * amplitude;
+    double aim = goal_u + rng_.gaussian(0.0, sigma);
+    aim = std::clamp(aim, spec.u_min, spec.u_max);
+    const util::Seconds reach_time = movement_time(p.reach_fitts, amplitude, width_u);
+
+    if (!first_move) ++outcome.corrective_movements;
+    first_move = false;
+
+    // Execute the reach, feeding the channel densely.
+    const double t0 = now;
+    const double u0 = u;
+    while (now < t0 + reach_time.value) {
+      u = min_jerk(u0, aim, now - t0, reach_time.value);
+      t.on_control(util::Seconds{now}, u + tremor.displacement_cm(now));
+      overshoots.observe(static_cast<long>(t.cursor()));
+      now += config_.dt_s;
+    }
+    u = aim;
+
+    // Settle & perceive: hold, then check after the reaction time.
+    const double dwell = p.reaction_time_s + config_.settle_dwell_s;
+    const double s0 = now;
+    while (now < s0 + dwell) {
+      t.on_control(util::Seconds{now}, u + tremor.displacement_cm(now));
+      overshoots.observe(static_cast<long>(t.cursor()));
+      now += config_.dt_s;
+    }
+
+    if (t.cursor() == target) {
+      // Verify the label, then commit.
+      now += p.verification_time_s;
+      outcome.time_s = now;
+      if (commit_selection(t, target, p, u, /*feed_control=*/true, outcome)) {
+        outcome.success = true;
+        outcome.overshoots = overshoots.count();
+        return outcome;
+      }
+      now = outcome.time_s;
+      continue;  // slipped or drifted: re-settle and retry
+    }
+  }
+  outcome.time_s = now;
+  outcome.overshoots = overshoots.count();
+  return outcome;
+}
+
+AcquisitionOutcome MotionPlanner::run_rate(baselines::ScrollTechnique& t, std::size_t target,
+                                           const UserProfile& p) {
+  AcquisitionOutcome outcome;
+  const auto spec = t.spec();
+  DelayedPerception perception(p.reaction_time_s);
+  OvershootCounter overshoots(static_cast<long>(target));
+  const double penalty = effective_fine_penalty(t, p);
+
+  double u = spec.u_neutral;
+  double now = 0.0;
+  double on_target_since = -1.0;
+
+  while (now < config_.timeout_s) {
+    perception.observe(now, static_cast<long>(t.cursor()));
+    const long perceived = perception.perceived(now);
+    const long err = static_cast<long>(target) - perceived;
+
+    // Proportional zone of ~6 entries, saturating to full deflection.
+    double desired =
+        spec.u_max * std::clamp(static_cast<double>(err) / 6.0, -1.0, 1.0);
+    if (err == 0) desired = spec.u_neutral;
+    // Wrist moves toward the desired angle at a limited (glove-scaled)
+    // angular speed, with motor wobble.
+    const double max_step = (p.tilt_speed_rad_s / penalty) * config_.dt_s;
+    const double delta = std::clamp(desired - u, -max_step, max_step);
+    u += delta + rng_.gaussian(0.0, 0.008 * penalty);
+    u = std::clamp(u, spec.u_min, spec.u_max);
+
+    t.on_control(util::Seconds{now}, u);
+    overshoots.observe(static_cast<long>(t.cursor()));
+    now += config_.dt_s;
+
+    if (t.cursor() == target && std::abs(u) < 0.5 * spec.u_max) {
+      if (on_target_since < 0.0) on_target_since = now;
+      if (now - on_target_since >= config_.settle_dwell_s + p.reaction_time_s) {
+        now += p.verification_time_s;
+        outcome.time_s = now;
+        if (commit_selection(t, target, p, u, /*feed_control=*/false, outcome)) {
+          outcome.success = true;
+          outcome.overshoots = overshoots.count();
+          return outcome;
+        }
+        now = outcome.time_s;
+        on_target_since = -1.0;
+        ++outcome.corrective_movements;
+      }
+    } else {
+      on_target_since = -1.0;
+    }
+  }
+  outcome.time_s = now;
+  outcome.overshoots = overshoots.count();
+  return outcome;
+}
+
+AcquisitionOutcome MotionPlanner::run_stroke(baselines::ScrollTechnique& t, std::size_t target,
+                                             const UserProfile& p) {
+  AcquisitionOutcome outcome;
+  auto* wheel = dynamic_cast<baselines::WheelScroll*>(&t);
+  OvershootCounter overshoots(static_cast<long>(target));
+  const double gain = wheel ? wheel->gain() : 1.0;
+  const double stroke_max = wheel ? wheel->stroke_max_cm() : t.spec().u_max;
+
+  double now = 0.0;
+  bool first = true;
+  while (now < config_.timeout_s) {
+    const long err = static_cast<long>(target) - static_cast<long>(t.cursor());
+    if (err == 0) {
+      now += p.verification_time_s;
+      outcome.time_s = now;
+      if (commit_selection(t, target, p, 0.0, /*feed_control=*/false, outcome)) {
+        outcome.success = true;
+        outcome.overshoots = overshoots.count();
+        return outcome;
+      }
+      now = outcome.time_s;
+      continue;
+    }
+    if (!first) ++outcome.corrective_movements;
+    first = false;
+
+    // One clutched stroke: pull out, freewheel back.
+    const double desired_entries = std::min<double>(std::abs(err), gain * stroke_max);
+    double length = desired_entries / gain;
+    length *= 1.0 + rng_.gaussian(0.0, 0.06);  // pull-length scatter
+    length = std::clamp(length, 0.3, stroke_max);
+    if (wheel) {
+      wheel->set_direction(err > 0 ? 1 : -1);
+    }
+    t.set_engaged(true);
+    const util::Seconds pull_time =
+        movement_time(p.reach_fitts, length, std::max(0.3, 1.0 / gain));
+    const double t0 = now;
+    while (now < t0 + pull_time.value) {
+      const double u = min_jerk(0.0, length, now - t0, pull_time.value);
+      t.on_control(util::Seconds{now}, u);
+      overshoots.observe(static_cast<long>(t.cursor()));
+      now += config_.dt_s;
+    }
+    t.set_engaged(false);
+    if (wheel && wheel->jammed(util::Seconds{now})) {
+      now += wheel->jam_recovery().value;  // shake the mechanism loose
+    }
+    // Spring retraction (~0.25 s), then perceive the result.
+    const double r0 = now;
+    while (now < r0 + 0.25) {
+      const double u = min_jerk(length, 0.0, now - r0, 0.25);
+      t.on_control(util::Seconds{now}, u);
+      now += config_.dt_s;
+    }
+    now += p.reaction_time_s;
+  }
+  outcome.time_s = now;
+  outcome.overshoots = overshoots.count();
+  return outcome;
+}
+
+AcquisitionOutcome MotionPlanner::run_unbounded(baselines::ScrollTechnique& t, std::size_t target,
+                                                const UserProfile& p) {
+  AcquisitionOutcome outcome;
+  const auto spec = t.spec();
+  DelayedPerception perception(p.reaction_time_s);
+  OvershootCounter overshoots(static_cast<long>(target));
+  const double penalty = effective_fine_penalty(t, p);
+  // Thick gloves on a touch surface: gestures intermittently fail to
+  // register at all.
+  const double dropout_per_s = (p.glove == Glove::Thick) ? 0.8 : (p.glove == Glove::Thin ? 0.1 : 0.0);
+
+  double u = 0.0;
+  double now = 0.0;
+  double on_target_since = -1.0;
+  bool touching = true;
+
+  while (now < config_.timeout_s) {
+    perception.observe(now, static_cast<long>(t.cursor()));
+    const long err = static_cast<long>(target) - perception.perceived(now);
+
+    if (touching && rng_.bernoulli(dropout_per_s * config_.dt_s)) {
+      // Touch lost: lift, re-place the finger (costs time, no motion).
+      touching = false;
+      now += 0.5 * penalty;
+      touching = true;
+      continue;
+    }
+
+    // Circle speed proportional to remaining error, capped by the
+    // comfortable gesture rate (slower with gloves/stylus problems).
+    const double max_rate = spec.max_rate / penalty;
+    const double rate =
+        std::clamp(static_cast<double>(err) * 0.25, -max_rate, max_rate);
+    u += rate * config_.dt_s + rng_.gaussian(0.0, 0.002 * penalty);
+    t.on_control(util::Seconds{now}, u);
+    overshoots.observe(static_cast<long>(t.cursor()));
+    now += config_.dt_s;
+
+    if (t.cursor() == target) {
+      if (on_target_since < 0.0) on_target_since = now;
+      if (now - on_target_since >= config_.settle_dwell_s + p.reaction_time_s) {
+        now += p.verification_time_s;
+        outcome.time_s = now;
+        if (commit_selection(t, target, p, u, /*feed_control=*/false, outcome)) {
+          outcome.success = true;
+          outcome.overshoots = overshoots.count();
+          return outcome;
+        }
+        now = outcome.time_s;
+        on_target_since = -1.0;
+        ++outcome.corrective_movements;
+      }
+    } else {
+      on_target_since = -1.0;
+    }
+  }
+  outcome.time_s = now;
+  outcome.overshoots = overshoots.count();
+  return outcome;
+}
+
+AcquisitionOutcome MotionPlanner::run_discrete(baselines::ScrollTechnique& t, std::size_t target,
+                                               const UserProfile& p) {
+  AcquisitionOutcome outcome;
+  auto* buttons = dynamic_cast<baselines::ButtonScroll*>(&t);
+  OvershootCounter overshoots(static_cast<long>(target));
+  const double penalty = effective_fine_penalty(t, p);
+  const double miss_p = effective_miss_probability(t, p);
+
+  double now = 0.0;
+  while (now < config_.timeout_s) {
+    const long err = static_cast<long>(target) - static_cast<long>(t.cursor());
+    if (err == 0) {
+      now += p.verification_time_s;
+      outcome.time_s = now;
+      if (commit_selection(t, target, p, 0.0, /*feed_control=*/false, outcome)) {
+        outcome.success = true;
+        outcome.overshoots = overshoots.count();
+        return outcome;
+      }
+      now = outcome.time_s;
+      continue;
+    }
+
+    if (buttons && std::abs(err) >= config_.hold_threshold) {
+      // Hold for auto-repeat; release is late by the reaction time, so
+      // overshoot is built in.
+      buttons->begin_hold(util::Seconds{now}, err > 0 ? 1 : -1);
+      while (static_cast<long>(t.cursor()) != static_cast<long>(target) &&
+             now < config_.timeout_s) {
+        buttons->poll_hold(util::Seconds{now});
+        overshoots.observe(static_cast<long>(t.cursor()));
+        // Stop condition is evaluated on the *perceived* (delayed)
+        // cursor: keep holding a little past the target.
+        const long c = static_cast<long>(t.cursor());
+        if ((err > 0 && c >= static_cast<long>(target)) ||
+            (err < 0 && c <= static_cast<long>(target))) {
+          break;
+        }
+        now += config_.dt_s;
+      }
+      now += p.reaction_time_s;  // late release
+      buttons->end_hold(util::Seconds{now});
+      overshoots.observe(static_cast<long>(t.cursor()));
+      ++outcome.corrective_movements;
+      continue;
+    }
+
+    // Single deliberate press.
+    now += p.button_press_s * penalty;
+    if (!rng_.bernoulli(miss_p)) {
+      t.on_step(util::Seconds{now}, err > 0 ? 1 : -1);
+    }
+    overshoots.observe(static_cast<long>(t.cursor()));
+    // Short inter-press gap.
+    now += 0.06 * penalty;
+  }
+  outcome.time_s = now;
+  outcome.overshoots = overshoots.count();
+  return outcome;
+}
+
+}  // namespace distscroll::human

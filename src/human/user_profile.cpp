@@ -1,0 +1,57 @@
+#include "human/user_profile.h"
+
+#include <algorithm>
+
+namespace distscroll::human {
+
+namespace {
+
+/// All motor/cognitive parameters derive from (expertise, glove) over
+/// fresh defaults, so with_expertise / with_glove are idempotent and can
+/// be re-applied between session blocks without compounding penalties.
+UserProfile derive(std::string name, double expertise, Glove glove) {
+  UserProfile p;
+  p.name = std::move(name);
+  p.expertise = std::clamp(expertise, 0.0, 1.0);
+  p.glove = glove;
+
+  const double skill = p.expertise;
+  // Experts: tighter aim, faster verification, slightly faster Fitts
+  // slope (practice effect), fewer slips.
+  p.aim_w0_cm = 0.25 * (1.4 - 0.8 * skill);
+  p.aim_w1 = 0.05 * (1.4 - 0.8 * skill);
+  p.verification_time_s = 0.50 - 0.30 * skill;
+  p.reaction_time_s = 0.30 - 0.08 * skill;
+  p.reach_fitts.b_seconds_per_bit = 0.18 - 0.06 * skill;
+  p.button_miss_probability = 0.04 * (1.0 - 0.7 * skill);
+
+  switch (glove) {
+    case Glove::None:
+      break;
+    case Glove::Thin:  // lab / surgical gloves
+      p.fine_motor_penalty = 1.3;
+      p.button_miss_probability = std::min(0.5, p.button_miss_probability * 2.5);
+      p.button_press_s *= 1.15;
+      // Gross arm movement almost untouched.
+      p.aim_w0_cm *= 1.05;
+      break;
+    case Glove::Thick:  // arctic / protective gloves (the paper's scenario)
+      p.fine_motor_penalty = 2.6;
+      p.button_miss_probability = std::min(0.6, 0.10 + p.button_miss_probability * 6.0);
+      p.button_press_s *= 1.6;
+      // Reaching barely degrades: shoulder/elbow, not fingertips.
+      p.aim_w0_cm *= 1.15;
+      p.aim_w1 *= 1.10;
+      p.tremor.amplitude_cm *= 1.2;  // grip slack
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+UserProfile UserProfile::with_expertise(double e) const { return derive(name, e, glove); }
+
+UserProfile UserProfile::with_glove(Glove g) const { return derive(name, expertise, g); }
+
+}  // namespace distscroll::human

@@ -1,0 +1,69 @@
+// UART model.
+//
+// The Smart-Its base board exposes a serial connector (paper Fig. 3);
+// the wireless module sits behind it. We model baud-limited byte
+// transmission with a bounded TX queue and an RX FIFO, so telemetry
+// bandwidth is a real constraint: at 115200 baud a state frame costs
+// ~1 ms, which matters at a 38 Hz sensor rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "util/ring_buffer.h"
+#include "util/units.h"
+
+namespace distscroll::hw {
+
+class Uart {
+ public:
+  struct Config {
+    double baud = 115200.0;
+    // 8N1: 10 bit times per byte.
+    static constexpr double bits_per_byte = 10.0;
+  };
+
+  using TxCallback = std::function<void(std::uint8_t)>;
+
+  Uart() : Uart(Config{}) {}
+  explicit Uart(Config config) : config_(config) {}
+
+  [[nodiscard]] util::Seconds byte_time() const {
+    return util::Seconds{Config::bits_per_byte / config_.baud};
+  }
+
+  /// Firmware queues a byte for transmission. Returns false when the TX
+  /// FIFO is full (byte dropped — the firmware must pace itself).
+  bool transmit(std::uint8_t byte) { return tx_fifo_.try_push(byte); }
+
+  [[nodiscard]] std::size_t tx_pending() const { return tx_fifo_.size(); }
+
+  /// The wire side clocks out one byte if available; invoked by the
+  /// board at byte_time() intervals.
+  std::optional<std::uint8_t> clock_out() { return tx_fifo_.pop(); }
+
+  /// The wire side delivers a received byte into the RX FIFO. Returns
+  /// false on overflow (byte lost, counted).
+  bool deliver(std::uint8_t byte) {
+    if (rx_fifo_.try_push(byte)) return true;
+    ++rx_overflows_;
+    return false;
+  }
+
+  /// Firmware reads a received byte.
+  std::optional<std::uint8_t> receive() { return rx_fifo_.pop(); }
+
+  [[nodiscard]] std::size_t rx_available() const { return rx_fifo_.size(); }
+  [[nodiscard]] std::uint64_t rx_overflows() const { return rx_overflows_; }
+
+ private:
+  Config config_;
+  // The PIC 18F452 USART has a tiny hardware FIFO; firmware typically
+  // adds a software ring in RAM. 64 bytes models base board firmware.
+  util::RingBuffer<std::uint8_t, 64> tx_fifo_;
+  util::RingBuffer<std::uint8_t, 64> rx_fifo_;
+  std::uint64_t rx_overflows_ = 0;
+};
+
+}  // namespace distscroll::hw

@@ -1,0 +1,55 @@
+#include "menu/phone_menu.h"
+
+#include "menu/menu_builder.h"
+
+namespace distscroll::menu {
+
+std::unique_ptr<MenuNode> make_phone_menu() {
+  MenuBuilder b("phone");
+  b.submenu("Messages")
+      .item("Write message")
+      .item("Inbox")
+      .item("Outbox")
+      .item("Drafts")
+      .item("Templates")
+      .end();
+  b.submenu("Contacts")
+      .item("Search")
+      .item("Add contact")
+      .item("Speed dials")
+      .item("Groups")
+      .end();
+  b.submenu("Call register")
+      .item("Missed calls")
+      .item("Received calls")
+      .item("Dialled numbers")
+      .item("Call duration")
+      .end();
+  b.submenu("Settings")
+      .submenu("Tones")
+      .item("Ringing tone")
+      .item("Ringing volume")
+      .item("Vibrating alert")
+      .end()
+      .submenu("Display")
+      .item("Wallpaper")
+      .item("Contrast")
+      .item("Backlight time")
+      .end()
+      .item("Clock")
+      .item("Language")
+      .item("Security")
+      .end();
+  b.submenu("Organiser")
+      .item("Alarm clock")
+      .item("Calendar")
+      .item("To-do list")
+      .item("Notes")
+      .end();
+  b.submenu("Games").item("Snake").item("Space impact").item("Bantumi").end();
+  b.item("Profiles");
+  b.item("SIM services");
+  return b.build();
+}
+
+}  // namespace distscroll::menu

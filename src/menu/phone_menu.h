@@ -1,0 +1,14 @@
+// The "fictive mobile phone menu" of the paper's initial study
+// (Section 6): a realistic 2005-era phone menu hierarchy used as the
+// default workload in examples and the user-study reproduction.
+#pragma once
+
+#include <memory>
+
+#include "menu/menu.h"
+
+namespace distscroll::menu {
+
+[[nodiscard]] std::unique_ptr<MenuNode> make_phone_menu();
+
+}  // namespace distscroll::menu

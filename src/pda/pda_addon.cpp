@@ -1,0 +1,83 @@
+#include "pda/pda_addon.h"
+
+namespace distscroll::pda {
+
+PdaAddon::PdaAddon(Config config, sim::EventQueue& queue, sim::Rng rng)
+    : config_(config),
+      queue_(&queue),
+      board_(config.board, queue, rng.fork(1)),
+      ranger_(config.sensor, rng.fork(2)) {
+  distance_provider_ = [](util::Seconds) { return util::Centimeters{17.0}; };
+  ranger_channel_ = board_.adc().attach(
+      [this](util::Seconds now) { return ranger_.output(distance_provider_(now), now); });
+
+  select_ = std::make_unique<input::Button>(config_.button, board_.gpio(), 0, queue, rng.fork(3));
+  back_ = std::make_unique<input::Button>(config_.button, board_.gpio(), 1, queue, rng.fork(4));
+  debouncers_.resize(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    debouncers_[i].on_press([this, i] {
+      send_frame(kButtonFrame, {static_cast<std::uint8_t>(i), 1});
+    });
+    debouncers_[i].on_release([this, i] {
+      send_frame(kButtonFrame, {static_cast<std::uint8_t>(i), 0});
+    });
+  }
+
+  board_.battery().add_consumer("gp2d120", 33.0);
+  board_.mcu().reserve_ram("addon-state", 64);
+  board_.mcu().reserve_flash("addon-firmware", 4 * 1024);  // the dumb firmware is tiny
+}
+
+void PdaAddon::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  firmware_timer_ = board_.mcu().start_timer(config_.firmware_tick, [this] { firmware_tick(); });
+  button_timer_ = board_.mcu().start_timer(config_.button_tick, [this] { button_tick(); });
+}
+
+void PdaAddon::power_off() {
+  if (!powered_) return;
+  powered_ = false;
+  board_.mcu().stop_timer(firmware_timer_);
+  board_.mcu().stop_timer(button_timer_);
+}
+
+void PdaAddon::firmware_tick() {
+  if (!powered_) return;
+  const auto counts = board_.adc().sample(ranger_channel_, queue_->now());
+  board_.mcu().charge_cycles(440);
+  if (++ticks_since_report_ >= config_.report_divider) {
+    ticks_since_report_ = 0;
+    send_frame(kDistanceFrame, {static_cast<std::uint8_t>(counts.value & 0xFF),
+                                static_cast<std::uint8_t>(counts.value >> 8)});
+  }
+  board_.battery().consume(config_.firmware_tick);
+}
+
+void PdaAddon::button_tick() {
+  if (!powered_) return;
+  for (std::size_t i = 0; i < debouncers_.size(); ++i) {
+    debouncers_[i].tick(board_.gpio().read(i));
+  }
+  board_.mcu().charge_cycles(10);
+}
+
+void PdaAddon::send_frame(wireless::FrameType type, std::vector<std::uint8_t> payload) {
+  wireless::Frame frame;
+  frame.type = type;
+  frame.seq = seq_++;
+  frame.payload = std::move(payload);
+  for (std::uint8_t byte : wireless::encode(frame)) board_.uart().transmit(byte);
+  ++frames_sent_;
+  board_.mcu().charge_cycles(90);
+}
+
+void PdaAddon::on_host_byte(std::uint8_t byte) {
+  const auto frame = host_decoder_.feed(byte);
+  if (!frame) return;
+  if (frame->type == kRateCommand && !frame->payload.empty()) {
+    config_.report_divider = std::max<int>(1, frame->payload[0]);
+  }
+}
+
+}  // namespace distscroll::pda

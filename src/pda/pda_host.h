@@ -1,0 +1,83 @@
+// PDA-side consumer of the add-on stream.
+//
+// Owns everything the dumb dongle does not: the calibrated sensor
+// curve, the island mapping, the scroll controller, the menu, and a
+// text screen (a 2005-era PDA: more lines than the prototype's COG
+// panels). Rebuilds islands per menu level exactly like the standalone
+// firmware, so behaviour is identical from the user's point of view —
+// which is the point of the paper's planned re-implementation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/island_mapper.h"
+#include "core/scroll_controller.h"
+#include "core/sensor_curve.h"
+#include "menu/menu.h"
+#include "pda/pda_addon.h"
+#include "wireless/packet.h"
+
+namespace distscroll::pda {
+
+class PdaHost {
+ public:
+  struct Config {
+    core::SensorCurve curve{};
+    core::IslandMapper::Config islands{};
+    core::ScrollController::Config scroll{};
+    int screen_lines = 10;  // PDA screens fit more than 5 lines
+  };
+
+  PdaHost(Config config, const menu::MenuNode& menu_root);
+
+  /// Byte sink for the addon -> host serial direction.
+  void on_byte(std::uint8_t byte);
+
+  /// Optional back-channel to the add-on (rate commands).
+  void set_addon_sink(std::function<void(std::uint8_t)> sink) { addon_sink_ = std::move(sink); }
+  /// Ask the add-on to report every `divider` ticks.
+  void request_report_divider(std::uint8_t divider);
+
+  [[nodiscard]] const menu::MenuCursor& cursor() const { return cursor_; }
+  [[nodiscard]] const core::IslandMapper& mapper() const { return *mapper_; }
+
+  struct Selection {
+    std::string label;
+    bool is_leaf;
+  };
+  [[nodiscard]] const std::vector<Selection>& selections() const { return selections_; }
+  void on_leaf_activated(std::function<void(const std::string&)> cb) {
+    leaf_callback_ = std::move(cb);
+  }
+
+  /// The rendered screen: menu window with '>' cursor marker.
+  [[nodiscard]] std::vector<std::string> screen() const;
+
+  // Link statistics.
+  [[nodiscard]] std::uint64_t frames_received() const { return decoder_.frames_decoded(); }
+  [[nodiscard]] std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
+  [[nodiscard]] std::optional<std::uint16_t> last_counts() const { return last_counts_; }
+
+ private:
+  void rebuild_mapping();
+  void handle_distance(std::uint16_t counts);
+  void handle_button(std::uint8_t button, bool pressed);
+
+  Config config_;
+  const menu::MenuNode* menu_root_;
+  menu::MenuCursor cursor_;
+  std::unique_ptr<core::IslandMapper> mapper_;
+  std::unique_ptr<core::ScrollController> controller_;
+  wireless::FrameDecoder decoder_;
+  std::function<void(std::uint8_t)> addon_sink_;
+  std::function<void(const std::string&)> leaf_callback_;
+  std::vector<Selection> selections_;
+  std::optional<std::uint16_t> last_counts_;
+  std::uint8_t command_seq_ = 0;
+};
+
+}  // namespace distscroll::pda

@@ -1,0 +1,49 @@
+// Analog Devices ADXL311JE two-axis accelerometer model.
+//
+// Present on the DistScroll add-on board (paper Section 4.3); unused by
+// the distance technique itself but included by the authors "to
+// reproduce results published by others" — i.e. the tilt-scrolling
+// baselines (Rock'n'Scroll, TiltText, Unigesture). We use it exactly for
+// that: baselines::TiltScroll reads tilt through this model.
+//
+// Static orientation maps to acceleration: a_x = g*sin(pitch),
+// a_y = g*sin(roll); the analog outputs are mid-supply at 0 g with the
+// datasheet sensitivity of ~174 mV/g.
+#pragma once
+
+#include "sim/random.h"
+#include "util/units.h"
+
+namespace distscroll::sensors {
+
+class Adxl311Model {
+ public:
+  struct Config {
+    double zero_g_volts = 1.5;       // mid-supply (3 V part)
+    double sensitivity_v_per_g = 0.174;
+    double noise_volts = 0.004;      // broadband noise through the bw cap
+  };
+
+  Adxl311Model(Config config, sim::Rng rng) : config_(config), rng_(rng) {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Analog X output for a static pitch angle plus dynamic acceleration
+  /// along the axis.
+  [[nodiscard]] util::Volts output_x(util::Radians pitch, util::Gs dynamic_x = util::Gs{0.0});
+
+  /// Analog Y output for a static roll angle plus dynamic acceleration.
+  [[nodiscard]] util::Volts output_y(util::Radians roll, util::Gs dynamic_y = util::Gs{0.0});
+
+  /// Host-side inverse: recover the tilt angle from a measured voltage
+  /// (clamps to +-1 g before asin).
+  [[nodiscard]] util::Radians tilt_from_volts(util::Volts v) const;
+
+ private:
+  [[nodiscard]] util::Volts axis_output(double sin_angle, double dynamic_g);
+
+  Config config_;
+  sim::Rng rng_;
+};
+
+}  // namespace distscroll::sensors

@@ -1,0 +1,88 @@
+// Sharp GP2D120 infrared distance sensor model.
+//
+// This is the integral part of the DistScroll prototype (paper Section
+// 4.2). The GP2D120 triangulates with a PSD and emits an analog voltage.
+// Properties the paper relies on, all modelled here:
+//
+//  * measuring range ~4..30 cm matching the predicted usage range;
+//  * NON-MONOTONIC response: values rise as the device approaches, peak
+//    near 4 cm, and fall again steeply below 4 cm — the paper both
+//    tolerates this (displays are unreadable that close) and notes that
+//    advanced users exploit the steep branch for fast scrolling;
+//  * NON-LINEAR response above the peak, well described by
+//    V(d) = a / (d + k) + c (the idealised curve of Fig. 4/5);
+//  * near-independence from target reflectivity, with the documented
+//    exception of specular boundaries;
+//  * a sampled-and-held output: the sensor re-measures every ~38 ms
+//    (datasheet typ. 38.3 ms) and holds the voltage in between, which
+//    lower-bounds the end-to-end latency of distance scrolling.
+#pragma once
+
+#include "sensors/surface.h"
+#include "sim/random.h"
+#include "util/units.h"
+
+#include <functional>
+
+namespace distscroll::sensors {
+
+class Gp2d120Model {
+ public:
+  struct Config {
+    // Transfer curve V(d) = a/(d+k) + c for d >= peak_cm, fitted to the
+    // GP2D120 datasheet example curve.
+    double curve_a = 10.4;   // volt * cm
+    double curve_k = 0.6;    // cm
+    double curve_c = 0.0;    // volt
+    double peak_cm = 3.2;    // response maximum; below this it falls again
+    double min_output_volts = 0.25;  // floor when out of range (> ~35 cm)
+    double dead_zone_volts = 0.45;   // output at touching distance (0 cm)
+    double max_range_cm = 31.0;      // beyond: no measurement, output floors
+    double output_noise_volts = 0.012;
+    util::Seconds measurement_period{38.3e-3};  // datasheet typical
+    /// How strongly (fractionally) reflectivity shifts the reading.
+    /// Datasheet: gray vs white differs by only a few percent.
+    double reflectivity_sensitivity = 0.03;
+  };
+
+  Gp2d120Model(Config config, sim::Rng rng, SurfaceProfile surface = {})
+      : config_(config), rng_(rng), surface_(surface) {}
+
+  void set_surface(SurfaceProfile surface) { surface_ = surface; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Ideal (noise-free, instantaneous) transfer function; exposed so
+  /// calibration and the Fig. 4 bench can compare fit vs truth.
+  [[nodiscard]] util::Volts ideal_output(util::Centimeters distance) const;
+
+  /// The live analog pin: samples the true-distance provider on the
+  /// sensor's own 38 ms grid (zero-order hold) and applies noise,
+  /// reflectivity shift and specular glitches.
+  [[nodiscard]] util::Volts output(util::Centimeters true_distance, util::Seconds now);
+
+  /// Convenience: wrap this sensor plus a distance provider as an
+  /// hw::AnalogSource-compatible callable.
+  [[nodiscard]] std::function<util::Volts(util::Seconds)> as_analog_source(
+      std::function<util::Centimeters(util::Seconds)> distance_provider);
+
+  /// Clear the sample-and-hold state (power cycle). Needed when the
+  /// driving clock restarts, e.g. between standalone trials.
+  void reset() {
+    ever_measured_ = false;
+    next_measurement_s_ = 0.0;
+    held_volts_ = 0.0;
+  }
+
+ private:
+  void remeasure(util::Centimeters distance);
+
+  Config config_;
+  sim::Rng rng_;
+  SurfaceProfile surface_;
+  // Sample-and-hold state.
+  double held_volts_ = 0.0;
+  double next_measurement_s_ = 0.0;
+  bool ever_measured_ = false;
+};
+
+}  // namespace distscroll::sensors

@@ -1,0 +1,23 @@
+// Simulated wall clock.
+//
+// All components (MCU, sensors, human model, wireless link) share one
+// SimClock owned by the EventQueue; time only advances when the event
+// queue dispatches. Everything is deterministic given the RNG seeds.
+#pragma once
+
+#include "util/units.h"
+
+namespace distscroll::sim {
+
+class SimClock {
+ public:
+  [[nodiscard]] util::Seconds now() const { return now_; }
+
+ private:
+  friend class EventQueue;
+  void advance_to(util::Seconds t) { now_ = t; }
+
+  util::Seconds now_{0.0};
+};
+
+}  // namespace distscroll::sim

@@ -1,0 +1,107 @@
+// Discrete-event scheduler.
+//
+// A classic calendar queue: callbacks scheduled at absolute simulated
+// times, dispatched in (time, insertion-order) order so same-time events
+// are deterministic. Handles support cancellation (e.g. a button release
+// cancelling a pending auto-repeat).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/clock.h"
+#include "util/units.h"
+
+namespace distscroll::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using Handle = std::uint64_t;
+  static constexpr Handle kInvalidHandle = 0;
+
+  [[nodiscard]] const SimClock& clock() const { return clock_; }
+  [[nodiscard]] util::Seconds now() const { return clock_.now(); }
+
+  /// Schedule `cb` at absolute simulated time `when`. Scheduling in the
+  /// past clamps to now (the event fires next).
+  Handle schedule_at(util::Seconds when, Callback cb) {
+    if (when < clock_.now()) when = clock_.now();
+    const Handle h = next_handle_++;
+    events_.emplace(Key{when.value, seq_++}, Entry{h, std::move(cb)});
+    return h;
+  }
+
+  Handle schedule_after(util::Seconds delay, Callback cb) {
+    return schedule_at(clock_.now() + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event; returns false if it already ran or was
+  /// cancelled. O(n) — cancellation is rare in our workloads.
+  bool cancel(Handle h) {
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+      if (it->second.handle == h) {
+        events_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+  /// Dispatch the next event; returns false when the queue is empty.
+  bool step() {
+    if (events_.empty()) return false;
+    auto it = events_.begin();
+    clock_.advance_to(util::Seconds{it->first.time});
+    Callback cb = std::move(it->second.callback);
+    events_.erase(it);
+    cb();
+    return true;
+  }
+
+  /// Run until the queue drains or simulated time exceeds `until`.
+  /// Returns the number of events dispatched.
+  std::size_t run_until(util::Seconds until) {
+    std::size_t dispatched = 0;
+    while (!events_.empty() && events_.begin()->first.time <= until.value) {
+      step();
+      ++dispatched;
+    }
+    // Even if nothing is pending, the caller observed time `until`.
+    if (clock_.now() < until) clock_.advance_to(until);
+    return dispatched;
+  }
+
+  /// Run to exhaustion with a safety cap.
+  std::size_t run_all(std::size_t max_events = 10'000'000) {
+    std::size_t dispatched = 0;
+    while (dispatched < max_events && step()) ++dispatched;
+    return dispatched;
+  }
+
+ private:
+  struct Key {
+    double time;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
+    }
+  };
+  struct Entry {
+    Handle handle;
+    Callback callback;
+  };
+
+  SimClock clock_;
+  std::map<Key, Entry> events_;
+  std::uint64_t seq_ = 0;
+  Handle next_handle_ = 1;
+};
+
+}  // namespace distscroll::sim

@@ -1,0 +1,41 @@
+#include "study/metrics.h"
+
+#include "util/stats.h"
+
+namespace distscroll::study {
+
+Aggregate aggregate(std::span<const TrialRecord> records) {
+  Aggregate agg;
+  agg.trials = records.size();
+  if (records.empty()) return agg;
+
+  std::vector<double> times;
+  double successes = 0, errors = 0, overshoots = 0, corrections = 0, throughput = 0;
+  for (const auto& r : records) {
+    if (r.outcome.success) {
+      successes += 1;
+      times.push_back(r.outcome.time_s);
+      if (r.outcome.time_s > 0.0) {
+        throughput += r.outcome.id_bits / r.outcome.time_s;
+      }
+    }
+    errors += r.outcome.wrong_selections;
+    overshoots += r.outcome.overshoots;
+    corrections += r.outcome.corrective_movements;
+  }
+  const auto n = static_cast<double>(records.size());
+  agg.success_rate = successes / n;
+  agg.error_rate = errors / n;
+  agg.mean_overshoots = overshoots / n;
+  agg.mean_corrections = corrections / n;
+  if (!times.empty()) {
+    const util::Summary s = util::summarize(times);
+    agg.mean_time_s = s.mean;
+    agg.stddev_time_s = s.stddev;
+    agg.p95_time_s = util::percentile(times, 0.95);
+    agg.throughput_bits_s = throughput / successes;
+  }
+  return agg;
+}
+
+}  // namespace distscroll::study

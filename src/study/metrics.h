@@ -1,0 +1,32 @@
+// Aggregation of trial outcomes into the numbers the benches report.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "human/motion_planner.h"
+
+namespace distscroll::study {
+
+struct TrialRecord {
+  human::AcquisitionOutcome outcome;
+  std::size_t level_size = 0;
+  std::size_t scroll_distance = 0;  // |target - start|
+};
+
+struct Aggregate {
+  std::size_t trials = 0;
+  double success_rate = 0.0;
+  double mean_time_s = 0.0;       // successful trials only
+  double stddev_time_s = 0.0;
+  double p95_time_s = 0.0;
+  double error_rate = 0.0;        // wrong selections per trial
+  double mean_overshoots = 0.0;
+  double mean_corrections = 0.0;
+  double throughput_bits_s = 0.0; // mean ID/time over successes
+};
+
+[[nodiscard]] Aggregate aggregate(std::span<const TrialRecord> records);
+
+}  // namespace distscroll::study

@@ -1,0 +1,51 @@
+#include "study/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace distscroll::study {
+
+std::string fmt(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(fmt(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+
+  std::string sep = "+";
+  for (const auto w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + line(header_) + sep;
+  for (const auto& row : rows_) out += line(row);
+  out += sep;
+  return out;
+}
+
+}  // namespace distscroll::study

@@ -1,0 +1,30 @@
+// Fixed-width ASCII tables for the bench binaries (the paper has no
+// numeric tables, so each experiment prints its own series in a common
+// format, mirrored to CSV by the benches).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace distscroll::study {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format doubles with fixed precision.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 3);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds as "1.234 s".
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace distscroll::study

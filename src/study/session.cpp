@@ -1,0 +1,33 @@
+#include "study/session.h"
+
+#include "study/trial.h"
+
+namespace distscroll::study {
+
+std::vector<BlockResult> run_session(baselines::ScrollTechnique& technique,
+                                     human::UserProfile profile, const SessionConfig& config,
+                                     sim::Rng rng) {
+  std::vector<BlockResult> blocks;
+  blocks.reserve(config.blocks);
+  for (std::size_t block = 0; block < config.blocks; ++block) {
+    sim::Rng block_rng = rng.fork(block);
+    const auto tasks = [&] {
+      sim::Rng task_rng = block_rng.fork(1);
+      return random_tasks(task_rng, config.level_size, config.trials_per_block);
+    }();
+    const auto records = run_trials(technique, tasks, profile, block_rng.fork(2), config.planner);
+
+    BlockResult result;
+    result.block = block;
+    result.expertise = profile.expertise;
+    result.aggregate = aggregate(records);
+    blocks.push_back(result);
+
+    // Practice: saturating exponential approach to expert performance.
+    profile = profile.with_expertise(profile.expertise +
+                                     config.learning_rate * (1.0 - profile.expertise));
+  }
+  return blocks;
+}
+
+}  // namespace distscroll::study

@@ -1,0 +1,40 @@
+// Multi-block participant sessions with practice effects.
+//
+// The paper's Section 6 observation — "Shortly after knowing the
+// relation between menu entry selection and distance, all users were
+// able to nearly errorless use the device" — is a learning-curve claim.
+// A Session runs a participant through blocks of trials, raising the
+// profile's expertise between blocks (power-law-of-practice-flavoured),
+// so per-block error rates trace the curve.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/scroll_technique.h"
+#include "study/metrics.h"
+#include "study/task.h"
+
+namespace distscroll::study {
+
+struct SessionConfig {
+  std::size_t blocks = 5;
+  std::size_t trials_per_block = 20;
+  std::size_t level_size = 10;
+  /// Expertise gained per completed block (saturating toward 1.0).
+  double learning_rate = 0.35;
+  human::MotionPlanner::Config planner{};
+};
+
+struct BlockResult {
+  std::size_t block = 0;
+  double expertise = 0.0;
+  Aggregate aggregate{};
+};
+
+/// Runs a full session for one participant on one technique.
+[[nodiscard]] std::vector<BlockResult> run_session(baselines::ScrollTechnique& technique,
+                                                   human::UserProfile profile,
+                                                   const SessionConfig& config, sim::Rng rng);
+
+}  // namespace distscroll::study

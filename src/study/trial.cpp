@@ -1,0 +1,33 @@
+#include "study/trial.h"
+
+#include <cstdlib>
+
+namespace distscroll::study {
+
+TrialRecord run_trial(baselines::ScrollTechnique& technique, const SelectionTask& task,
+                      const human::UserProfile& profile, sim::Rng rng,
+                      human::MotionPlanner::Config planner_config) {
+  technique.reset(task.level_size, task.start_index);
+  human::MotionPlanner planner(planner_config, rng);
+  TrialRecord record;
+  record.outcome = planner.acquire(technique, task.target_index, profile);
+  record.level_size = task.level_size;
+  record.scroll_distance = task.target_index > task.start_index
+                               ? task.target_index - task.start_index
+                               : task.start_index - task.target_index;
+  return record;
+}
+
+std::vector<TrialRecord> run_trials(baselines::ScrollTechnique& technique,
+                                    std::span<const SelectionTask> tasks,
+                                    const human::UserProfile& profile, sim::Rng rng,
+                                    human::MotionPlanner::Config planner_config) {
+  std::vector<TrialRecord> records;
+  records.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    records.push_back(run_trial(technique, tasks[i], profile, rng.fork(i), planner_config));
+  }
+  return records;
+}
+
+}  // namespace distscroll::study

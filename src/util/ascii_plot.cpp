@@ -1,0 +1,100 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace distscroll::util {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+};
+
+double transform(double v, bool log_scale) { return log_scale ? std::log10(v) : v; }
+
+}  // namespace
+
+std::string ascii_plot(std::span<const double> xs, std::span<const double> ys,
+                       std::span<const double> fit_xs, std::span<const double> fit_ys,
+                       const PlotOptions& options) {
+  const int w = std::max(10, options.width);
+  const int h = std::max(5, options.height);
+
+  Range rx, ry;
+  auto include_series = [&](std::span<const double> sx, std::span<const double> sy) {
+    for (std::size_t i = 0; i < sx.size(); ++i) {
+      if (options.log_x && sx[i] <= 0) continue;
+      if (options.log_y && sy[i] <= 0) continue;
+      rx.include(transform(sx[i], options.log_x));
+      ry.include(transform(sy[i], options.log_y));
+    }
+  };
+  include_series(xs, ys);
+  include_series(fit_xs, fit_ys);
+  if (!rx.valid() || !ry.valid()) return "(no data)\n";
+  if (rx.hi == rx.lo) rx.hi = rx.lo + 1.0;
+  if (ry.hi == ry.lo) ry.hi = ry.lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  auto plot_series = [&](std::span<const double> sx, std::span<const double> sy, char mark) {
+    for (std::size_t i = 0; i < sx.size(); ++i) {
+      if (options.log_x && sx[i] <= 0) continue;
+      if (options.log_y && sy[i] <= 0) continue;
+      const double tx = transform(sx[i], options.log_x);
+      const double ty = transform(sy[i], options.log_y);
+      const int col = static_cast<int>(std::lround((tx - rx.lo) / (rx.hi - rx.lo) * (w - 1)));
+      const int row = static_cast<int>(std::lround((ty - ry.lo) / (ry.hi - ry.lo) * (h - 1)));
+      const int r = h - 1 - row;  // top of grid = max y
+      if (r < 0 || r >= h || col < 0 || col >= w) continue;
+      char& cell = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)];
+      cell = (cell == ' ' || cell == mark) ? mark : '#';
+    }
+  };
+  plot_series(fit_xs, fit_ys, '-');
+  plot_series(xs, ys, '*');
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  char buf[64];
+  auto fmt = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%8.3f", v);
+    return std::string(buf);
+  };
+  const double y_hi = options.log_y ? std::pow(10.0, ry.hi) : ry.hi;
+  const double y_lo = options.log_y ? std::pow(10.0, ry.lo) : ry.lo;
+  for (int r = 0; r < h; ++r) {
+    if (r == 0) {
+      out += fmt(y_hi);
+    } else if (r == h - 1) {
+      out += fmt(y_lo);
+    } else {
+      out += std::string(8, ' ');
+    }
+    out += " |" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(9, ' ') + '+' + std::string(static_cast<std::size_t>(w), '-') + "\n";
+  const double x_lo = options.log_x ? std::pow(10.0, rx.lo) : rx.lo;
+  const double x_hi = options.log_x ? std::pow(10.0, rx.hi) : rx.hi;
+  out += std::string(10, ' ') + fmt(x_lo) + std::string(static_cast<std::size_t>(std::max(1, w - 18)), ' ') +
+         fmt(x_hi) + "\n";
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out += "          x: " + options.x_label;
+    if (!options.y_label.empty()) out += "   y: " + options.y_label;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace distscroll::util

@@ -1,0 +1,30 @@
+// ASCII scatter/line plotting for the bench binaries.
+//
+// The paper's Figures 4 and 5 show measured points (asterisks) with a
+// fitted curve; the bench binaries render the same picture on the
+// terminal. Points are plotted as '*', the fitted curve as '-', and
+// overlapping cells as '#'.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace distscroll::util {
+
+struct PlotOptions {
+  int width = 72;     // character columns of the plot area
+  int height = 20;    // character rows of the plot area
+  bool log_x = false; // logarithmic x axis (Fig. 5)
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders a scatter of (xs, ys) plus an optional fitted series
+/// (fit_xs, fit_ys) as a multi-line string. Series may be empty.
+[[nodiscard]] std::string ascii_plot(std::span<const double> xs, std::span<const double> ys,
+                                     std::span<const double> fit_xs,
+                                     std::span<const double> fit_ys, const PlotOptions& options);
+
+}  // namespace distscroll::util

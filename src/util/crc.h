@@ -1,0 +1,16 @@
+// CRC-8 (Dallas/Maxim) and CRC-16-CCITT used by the wireless framing
+// between the DistScroll prototype and the logging PC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace distscroll::util {
+
+/// CRC-8 with polynomial 0x31 (Dallas/Maxim), init 0x00.
+[[nodiscard]] std::uint8_t crc8(std::span<const std::uint8_t> data);
+
+/// CRC-16-CCITT (poly 0x1021), init 0xFFFF.
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data);
+
+}  // namespace distscroll::util

@@ -1,0 +1,47 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace distscroll::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), width_(header.size()) {
+  assert(width_ > 0);
+  row(header);
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) return std::string(field);
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  assert(values.size() == width_);
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    out_ << v;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  assert(values.size() == width_);
+  bool first = true;
+  for (const auto& v : values) {
+    if (!first) out_ << ',';
+    out_ << escape(v);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+}  // namespace distscroll::util

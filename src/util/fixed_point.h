@@ -1,0 +1,61 @@
+// Q8.8 fixed-point arithmetic.
+//
+// The DistScroll firmware runs (in spirit) on a PIC 18F452 without an
+// FPU; the original C firmware would have used integer math for the
+// island lookup and smoothing. We model that faithfully: everything the
+// simulated firmware computes per sample goes through Q8.8, so the
+// cycle-cost accounting in hw::Mcu reflects integer-only work.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace distscroll::util {
+
+/// Signed Q8.8: 8 integer bits, 8 fractional bits, range about
+/// [-128, 127.996].
+class Q8_8 {
+ public:
+  constexpr Q8_8() = default;
+
+  static constexpr Q8_8 from_raw(std::int16_t raw) {
+    Q8_8 q;
+    q.raw_ = raw;
+    return q;
+  }
+
+  static constexpr Q8_8 from_int(int v) { return from_raw(static_cast<std::int16_t>(v << 8)); }
+
+  static constexpr Q8_8 from_double(double v) {
+    return from_raw(static_cast<std::int16_t>(v * 256.0 + (v >= 0 ? 0.5 : -0.5)));
+  }
+
+  [[nodiscard]] constexpr std::int16_t raw() const { return raw_; }
+  [[nodiscard]] constexpr double to_double() const { return static_cast<double>(raw_) / 256.0; }
+  /// Truncation toward negative infinity, like an arithmetic shift.
+  [[nodiscard]] constexpr int to_int() const { return raw_ >> 8; }
+
+  constexpr auto operator<=>(const Q8_8&) const = default;
+
+  constexpr Q8_8 operator+(Q8_8 o) const {
+    return from_raw(static_cast<std::int16_t>(raw_ + o.raw_));
+  }
+  constexpr Q8_8 operator-(Q8_8 o) const {
+    return from_raw(static_cast<std::int16_t>(raw_ - o.raw_));
+  }
+  constexpr Q8_8 operator*(Q8_8 o) const {
+    // 16x16 -> 32-bit multiply, then shift: the classic fixed-point
+    // pattern an 8-bit PIC would emulate with its 8x8 hardware multiplier.
+    auto wide = static_cast<std::int32_t>(raw_) * static_cast<std::int32_t>(o.raw_);
+    return from_raw(static_cast<std::int16_t>(wide >> 8));
+  }
+  constexpr Q8_8 operator/(Q8_8 o) const {
+    auto wide = (static_cast<std::int32_t>(raw_) << 8) / static_cast<std::int32_t>(o.raw_);
+    return from_raw(static_cast<std::int16_t>(wide));
+  }
+
+ private:
+  std::int16_t raw_ = 0;
+};
+
+}  // namespace distscroll::util

@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace distscroll::util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  assert(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom != 0.0) {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  } else {
+    fit.intercept = sy / n;
+  }
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = fit.slope * xs[i] + fit.intercept;
+  fit.r_squared = r_squared(ys, pred);
+  return fit;
+}
+
+HyperbolicFit fit_hyperbolic(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 3);
+  HyperbolicFit best;
+  best.r_squared = -std::numeric_limits<double>::infinity();
+  // The GP2D120 datasheet curve has its singularity just left of the
+  // measuring range, so k in (-min(x), ~10] covers every realistic fit.
+  double min_x = std::numeric_limits<double>::infinity();
+  for (double x : xs) min_x = std::min(min_x, x);
+  std::vector<double> u(xs.size());
+  std::vector<double> pred(xs.size());
+  for (double k = -min_x + 0.05; k <= 10.0; k += 0.01) {
+    for (std::size_t i = 0; i < xs.size(); ++i) u[i] = 1.0 / (xs[i] + k);
+    const LinearFit inner = fit_linear(u, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = inner.slope * u[i] + inner.intercept;
+    const double r2 = r_squared(ys, pred);
+    if (r2 > best.r_squared) {
+      best.a = inner.slope;
+      best.k = k;
+      best.c = inner.intercept;
+      best.r_squared = r2;
+    }
+  }
+  return best;
+}
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    assert(xs[i] > 0.0 && ys[i] > 0.0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerFit fit;
+  fit.A = std::exp(lin.intercept);
+  fit.b = lin.slope;
+  fit.r_squared = lin.r_squared;
+  return fit;
+}
+
+double r_squared(std::span<const double> observed, std::span<const double> predicted) {
+  assert(observed.size() == predicted.size() && !observed.empty());
+  double mean = 0.0;
+  for (double v : observed) mean += v;
+  mean /= static_cast<double>(observed.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double welch_t(std::span<const double> a, std::span<const double> b) {
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  if (sa.count < 2 || sb.count < 2) return 0.0;
+  const double va = sa.stddev * sa.stddev / static_cast<double>(sa.count);
+  const double vb = sb.stddev * sb.stddev / static_cast<double>(sb.count);
+  if (va + vb == 0.0) return 0.0;
+  return (sa.mean - sb.mean) / std::sqrt(va + vb);
+}
+
+}  // namespace distscroll::util

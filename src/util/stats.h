@@ -1,0 +1,71 @@
+// Descriptive statistics and least-squares fitting.
+//
+// Two consumers: the study harness (trial-time summaries, percentiles)
+// and the sensor calibration path, which fits the paper's idealised
+// GP2D120 curve V(d) = a / (d + k) + c through measured ADC samples —
+// exactly what Figures 4 and 5 of the paper visualise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace distscroll::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// p in [0, 1]; linear interpolation between order statistics.
+/// Precondition: values non-empty.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+/// Precondition: xs.size() == ys.size() >= 2.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+struct HyperbolicFit {
+  // y = a / (x + k) + c
+  double a = 0.0;
+  double k = 0.0;
+  double c = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits y = a/(x+k) + c by scanning k over a grid and solving the inner
+/// linear problem (y vs 1/(x+k)) in closed form. This is the idealised
+/// curve the paper fits through the measured sensor values in Fig. 4.
+/// Preconditions: xs.size() == ys.size() >= 3, xs positive.
+[[nodiscard]] HyperbolicFit fit_hyperbolic(std::span<const double> xs, std::span<const double> ys);
+
+struct PowerFit {
+  // y = A * x^b  (linear in log-log space; Fig. 5's straight line)
+  double A = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;  // computed on the log-log residuals
+};
+
+/// Fits y = A x^b via linear regression of log y on log x.
+/// Preconditions: all xs and ys strictly positive, size >= 2.
+[[nodiscard]] PowerFit fit_power(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination of predictions vs observations.
+[[nodiscard]] double r_squared(std::span<const double> observed, std::span<const double> predicted);
+
+/// Two-sided Welch's t statistic for difference of means (no p-value
+/// table; the study harness reports |t| > 2 as "credible difference").
+[[nodiscard]] double welch_t(std::span<const double> a, std::span<const double> b);
+
+}  // namespace distscroll::util

@@ -1,0 +1,22 @@
+#include "wireless/host_logger.h"
+
+namespace distscroll::wireless {
+
+void HostLogger::on_byte(std::uint8_t byte) {
+  auto frame = decoder_.feed(byte);
+  if (!frame) return;
+  if (last_seq_) {
+    const std::uint8_t expected = static_cast<std::uint8_t>(*last_seq_ + 1);
+    if (frame->seq != expected) {
+      // 8-bit wraparound distance; counts frames missing in between.
+      sequence_gaps_ += static_cast<std::uint8_t>(frame->seq - expected);
+    }
+  }
+  last_seq_ = frame->seq;
+  if (frame->type == FrameType::State) {
+    last_state_ = StateReport::unpack(frame->payload);
+  }
+  events_.push_back({queue_->now().value, std::move(*frame)});
+}
+
+}  // namespace distscroll::wireless

@@ -1,0 +1,52 @@
+// PC-side telemetry receiver.
+//
+// Decodes the frame stream coming off the RF link and keeps the study
+// harness's view of device state: last state report, event log with
+// simulated timestamps, and link-quality counters. This is the "PC used
+// for logging" end of the paper's research setup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "wireless/packet.h"
+
+namespace distscroll::wireless {
+
+class HostLogger {
+ public:
+  explicit HostLogger(const sim::EventQueue& queue) : queue_(&queue) {}
+
+  /// Byte sink to hang on RfLink::set_host_sink.
+  void on_byte(std::uint8_t byte);
+
+  struct LoggedEvent {
+    double time_s;
+    Frame frame;
+  };
+
+  [[nodiscard]] const std::vector<LoggedEvent>& events() const { return events_; }
+  [[nodiscard]] std::optional<StateReport> last_state() const { return last_state_; }
+  [[nodiscard]] std::uint64_t frames_received() const { return decoder_.frames_decoded(); }
+  [[nodiscard]] std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
+
+  /// Sequence-gap count: frames the link dropped between received ones.
+  [[nodiscard]] std::uint64_t sequence_gaps() const { return sequence_gaps_; }
+
+  void clear() {
+    events_.clear();
+    last_state_.reset();
+  }
+
+ private:
+  const sim::EventQueue* queue_;
+  FrameDecoder decoder_;
+  std::vector<LoggedEvent> events_;
+  std::optional<StateReport> last_state_;
+  std::optional<std::uint8_t> last_seq_;
+  std::uint64_t sequence_gaps_ = 0;
+};
+
+}  // namespace distscroll::wireless

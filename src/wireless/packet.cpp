@@ -1,0 +1,92 @@
+#include "wireless/packet.h"
+
+#include <cassert>
+
+#include "util/crc.h"
+
+namespace distscroll::wireless {
+
+std::vector<std::uint8_t> StateReport::pack() const {
+  return {
+      static_cast<std::uint8_t>(adc_counts & 0xFF),
+      static_cast<std::uint8_t>((adc_counts >> 8) & 0xFF),
+      menu_depth,
+      cursor_index,
+      level_size,
+      buttons,
+  };
+}
+
+std::optional<StateReport> StateReport::unpack(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 6) return std::nullopt;
+  StateReport r;
+  r.adc_counts = static_cast<std::uint16_t>(payload[0] | (payload[1] << 8));
+  r.menu_depth = payload[2];
+  r.cursor_index = payload[3];
+  r.level_size = payload[4];
+  r.buttons = payload[5];
+  return r;
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  assert(frame.payload.size() <= kMaxPayload);
+  std::vector<std::uint8_t> wire;
+  wire.reserve(4 + frame.payload.size() + 1);
+  wire.push_back(kSyncByte);
+  const auto len = static_cast<std::uint8_t>(2 + frame.payload.size());  // TYPE SEQ PAYLOAD
+  wire.push_back(len);
+  wire.push_back(static_cast<std::uint8_t>(frame.type));
+  wire.push_back(frame.seq);
+  wire.insert(wire.end(), frame.payload.begin(), frame.payload.end());
+  // CRC over LEN..PAYLOAD (everything after sync).
+  const std::uint8_t crc = util::crc8({wire.data() + 1, wire.size() - 1});
+  wire.push_back(crc);
+  return wire;
+}
+
+std::optional<Frame> FrameDecoder::feed(std::uint8_t byte) {
+  switch (state_) {
+    case State::Sync:
+      if (byte == kSyncByte) {
+        buffer_.clear();
+        state_ = State::Length;
+      }
+      return std::nullopt;
+
+    case State::Length:
+      if (byte < 2 || byte > 2 + kMaxPayload) {
+        ++framing_errors_;
+        state_ = (byte == kSyncByte) ? State::Length : State::Sync;
+        return std::nullopt;
+      }
+      buffer_.push_back(byte);
+      expected_len_ = byte;
+      state_ = State::Body;
+      return std::nullopt;
+
+    case State::Body:
+      buffer_.push_back(byte);
+      // buffer_ holds LEN + body-so-far; body completes at LEN bytes,
+      // then one CRC byte follows.
+      if (buffer_.size() < 1 + expected_len_ + 1) return std::nullopt;
+      state_ = State::Sync;
+      {
+        const std::uint8_t received_crc = buffer_.back();
+        const std::uint8_t computed =
+            util::crc8({buffer_.data(), buffer_.size() - 1});
+        if (received_crc != computed) {
+          ++crc_errors_;
+          return std::nullopt;
+        }
+        Frame frame;
+        frame.type = static_cast<FrameType>(buffer_[1]);
+        frame.seq = buffer_[2];
+        frame.payload.assign(buffer_.begin() + 3, buffer_.end() - 1);
+        ++frames_decoded_;
+        return frame;
+      }
+  }
+  return std::nullopt;
+}
+
+}  // namespace distscroll::wireless

@@ -1,0 +1,75 @@
+// Telemetry frame format between the DistScroll prototype and the PC.
+//
+// The prototype is a "self contained interaction device that can be
+// wirelessly linked to a PC" (paper Section 3.2); the PC logs state for
+// the user study. Frames are byte-oriented for the UART path:
+//
+//   SYNC(0xAA) LEN TYPE SEQ PAYLOAD... CRC8
+//
+// LEN counts TYPE..PAYLOAD (not SYNC/LEN/CRC). CRC8 covers LEN..PAYLOAD.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace distscroll::wireless {
+
+inline constexpr std::uint8_t kSyncByte = 0xAA;
+inline constexpr std::size_t kMaxPayload = 32;
+
+enum class FrameType : std::uint8_t {
+  State = 0x01,      // periodic device state (cursor, adc, buttons)
+  ButtonEvent = 0x02,
+  SelectionEvent = 0x03,
+  Heartbeat = 0x04,
+  Debug = 0x05,
+};
+
+struct Frame {
+  FrameType type = FrameType::Heartbeat;
+  std::uint8_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// The periodic state report, packed into a State frame payload.
+struct StateReport {
+  std::uint16_t adc_counts = 0;   // raw distance sensor reading
+  std::uint8_t menu_depth = 0;
+  std::uint8_t cursor_index = 0;
+  std::uint8_t level_size = 0;
+  std::uint8_t buttons = 0;       // bit i = button i pressed
+
+  [[nodiscard]] std::vector<std::uint8_t> pack() const;
+  [[nodiscard]] static std::optional<StateReport> unpack(std::span<const std::uint8_t> payload);
+};
+
+/// Serialize a frame to wire bytes (with sync, length and CRC).
+[[nodiscard]] std::vector<std::uint8_t> encode(const Frame& frame);
+
+/// Incremental decoder: feed bytes as they arrive, pops complete valid
+/// frames. Resynchronises on CRC or framing errors by scanning for the
+/// next sync byte; corrupted frames are counted, never delivered.
+class FrameDecoder {
+ public:
+  /// Feed one byte; returns a frame when one completes.
+  std::optional<Frame> feed(std::uint8_t byte);
+
+  [[nodiscard]] std::uint64_t crc_errors() const { return crc_errors_; }
+  [[nodiscard]] std::uint64_t framing_errors() const { return framing_errors_; }
+  [[nodiscard]] std::uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  enum class State { Sync, Length, Body };
+  State state_ = State::Sync;
+  std::vector<std::uint8_t> buffer_;  // LEN TYPE SEQ PAYLOAD...
+  std::size_t expected_len_ = 0;
+  std::uint64_t crc_errors_ = 0;
+  std::uint64_t framing_errors_ = 0;
+  std::uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace distscroll::wireless

@@ -1,0 +1,266 @@
+// Tests for the scroll controller (direction mapping, smoothing,
+// statistics), chunked scrolling, speed-dependent zooming and the expert
+// fast-scroll mode.
+#include <gtest/gtest.h>
+
+#include "core/chunked_scroll.h"
+#include "core/fast_scroll.h"
+#include "core/island_mapper.h"
+#include "core/scroll_controller.h"
+#include "core/speed_zoom.h"
+
+namespace distscroll::core {
+namespace {
+
+struct ControllerFixture : ::testing::Test {
+  SensorCurve curve{};
+  IslandMapper mapper{curve, 5, {}};
+
+  std::uint16_t centre(std::size_t island) const { return mapper.islands()[island].centre; }
+};
+
+TEST_F(ControllerFixture, TowardUserScrollsDownMapping) {
+  ScrollController controller(mapper, {ScrollDirection::TowardUserScrollsDown, Smoothing::Raw});
+  // Island 0 = nearest: with "down" mapping it is the LAST menu entry.
+  auto update = controller.on_sample(util::AdcCounts{centre(0)});
+  EXPECT_EQ(update.menu_index, 4u);
+  update = controller.on_sample(util::AdcCounts{centre(4)});
+  EXPECT_EQ(update.menu_index, 0u);
+}
+
+TEST_F(ControllerFixture, TowardUserScrollsUpMapping) {
+  ScrollController controller(mapper, {ScrollDirection::TowardUserScrollsUp, Smoothing::Raw});
+  auto update = controller.on_sample(util::AdcCounts{centre(0)});
+  EXPECT_EQ(update.menu_index, 0u);
+}
+
+TEST_F(ControllerFixture, NoSelectionBeforeFirstIslandHit) {
+  ScrollController controller(mapper, {});
+  // A count in no island:
+  const auto update = controller.on_sample(util::AdcCounts{1023});
+  EXPECT_FALSE(update.menu_index.has_value());
+  EXPECT_FALSE(controller.selection().has_value());
+}
+
+TEST_F(ControllerFixture, GapKeepsSelection) {
+  ScrollController controller(mapper, {});
+  controller.on_sample(util::AdcCounts{centre(2)});
+  const auto before = controller.selection();
+  const auto gap =
+      static_cast<std::uint16_t>((mapper.islands()[2].low + mapper.islands()[3].high) / 2);
+  const auto update = controller.on_sample(util::AdcCounts{gap});
+  EXPECT_EQ(update.menu_index, before);
+  EXPECT_FALSE(update.changed);
+  EXPECT_EQ(controller.gap_samples(), 1u);
+}
+
+TEST_F(ControllerFixture, ChangeCountingAndStats) {
+  ScrollController controller(mapper, {});
+  controller.on_sample(util::AdcCounts{centre(0)});
+  controller.on_sample(util::AdcCounts{centre(0)});
+  controller.on_sample(util::AdcCounts{centre(1)});
+  EXPECT_EQ(controller.samples(), 3u);
+  EXPECT_EQ(controller.selection_changes(), 2u);  // null->0, 0->1
+}
+
+TEST_F(ControllerFixture, Median3KillsSingleGlitch) {
+  ScrollController raw(mapper, {ScrollDirection::TowardUserScrollsUp, Smoothing::Raw});
+  ScrollController filtered(mapper, {ScrollDirection::TowardUserScrollsUp, Smoothing::Median3});
+  // Steady on island 1, one glitch sample at island 4's centre, steady.
+  const std::uint16_t steady = centre(1), glitch = centre(4);
+  for (auto* c : {&raw, &filtered}) {
+    c->on_sample(util::AdcCounts{steady});
+    c->on_sample(util::AdcCounts{steady});
+  }
+  raw.on_sample(util::AdcCounts{glitch});
+  filtered.on_sample(util::AdcCounts{glitch});
+  EXPECT_EQ(raw.selection(), 4u);       // raw follows the glitch
+  EXPECT_EQ(filtered.selection(), 1u);  // median suppresses it
+}
+
+TEST_F(ControllerFixture, EmaConvergesToNewLevel) {
+  ScrollController controller(mapper, {ScrollDirection::TowardUserScrollsUp, Smoothing::Ema});
+  for (int i = 0; i < 3; ++i) controller.on_sample(util::AdcCounts{centre(0)});
+  EXPECT_EQ(controller.selection(), 0u);
+  // Step to island 3: EMA takes a few samples but converges.
+  std::optional<std::size_t> final;
+  for (int i = 0; i < 20; ++i) {
+    final = controller.on_sample(util::AdcCounts{centre(3)}).menu_index;
+  }
+  EXPECT_EQ(final, 3u);
+}
+
+TEST_F(ControllerFixture, RawCheaperThanFilters) {
+  ScrollController raw(mapper, {ScrollDirection::TowardUserScrollsUp, Smoothing::Raw});
+  ScrollController med(mapper, {ScrollDirection::TowardUserScrollsUp, Smoothing::Median3});
+  const auto raw_cost = raw.on_sample(util::AdcCounts{centre(0)}).cycles;
+  const auto med_cost = med.on_sample(util::AdcCounts{centre(0)}).cycles;
+  EXPECT_LT(raw_cost, med_cost);
+  // The whole per-sample cost stays tiny — the paper's "no heavy input
+  // processing" claim: well under 100 cycles (10 us at 10 MIPS).
+  EXPECT_LT(med_cost, 100u);
+}
+
+TEST_F(ControllerFixture, ResetClearsState) {
+  ScrollController controller(mapper, {});
+  controller.on_sample(util::AdcCounts{centre(2)});
+  controller.reset();
+  EXPECT_FALSE(controller.selection().has_value());
+}
+
+// --- chunked scroll -----------------------------------------------------------
+
+TEST(ChunkedScroll, BasicPaging) {
+  ChunkedScroll chunks(25, 10);
+  EXPECT_EQ(chunks.chunk_count(), 3u);
+  EXPECT_EQ(chunks.entries_in_chunk(), 10u);
+  EXPECT_EQ(chunks.to_absolute(4), 4u);
+  EXPECT_TRUE(chunks.next_chunk());
+  EXPECT_EQ(chunks.to_absolute(4), 14u);
+  EXPECT_TRUE(chunks.next_chunk());
+  EXPECT_EQ(chunks.entries_in_chunk(), 5u);  // short last chunk
+  EXPECT_FALSE(chunks.next_chunk());
+  EXPECT_TRUE(chunks.prev_chunk());
+  EXPECT_EQ(chunks.chunk(), 1u);
+}
+
+TEST(ChunkedScroll, ChunkOfAbsoluteIndex) {
+  ChunkedScroll chunks(25, 10);
+  EXPECT_EQ(chunks.chunk_of(0), 0u);
+  EXPECT_EQ(chunks.chunk_of(9), 0u);
+  EXPECT_EQ(chunks.chunk_of(10), 1u);
+  EXPECT_EQ(chunks.chunk_of(24), 2u);
+  EXPECT_EQ(chunks.chunk_of(999), 2u);  // clamped
+}
+
+TEST(ChunkedScroll, ToAbsoluteClampsInShortChunk) {
+  ChunkedScroll chunks(25, 10);
+  chunks.jump_to_chunk(2);
+  EXPECT_EQ(chunks.to_absolute(9), 24u);  // beyond the short chunk clamps
+}
+
+TEST(ChunkedScroll, ExactMultipleHasNoShortChunk) {
+  ChunkedScroll chunks(30, 10);
+  EXPECT_EQ(chunks.chunk_count(), 3u);
+  chunks.jump_to_chunk(2);
+  EXPECT_EQ(chunks.entries_in_chunk(), 10u);
+}
+
+TEST(ChunkedScroll, DegenerateSizes) {
+  ChunkedScroll one(1, 10);
+  EXPECT_EQ(one.chunk_count(), 1u);
+  EXPECT_FALSE(one.next_chunk());
+  EXPECT_FALSE(one.prev_chunk());
+  EXPECT_EQ(one.to_absolute(5), 0u);
+}
+
+// --- speed zoom ------------------------------------------------------------------
+
+TEST(SpeedZoom, StartsCoarseForLongMenus) {
+  SpeedZoom zoom(100, 10);
+  EXPECT_EQ(zoom.mode(), SpeedZoom::Mode::Coarse);
+  EXPECT_EQ(zoom.bucket_size(), 10u);
+}
+
+TEST(SpeedZoom, ShortMenuIsAlwaysFine) {
+  SpeedZoom zoom(8, 10);
+  EXPECT_EQ(zoom.on_update(util::Seconds{0.1}, 3), 3u);
+  EXPECT_EQ(zoom.mode(), SpeedZoom::Mode::Fine);
+}
+
+TEST(SpeedZoom, CoarseAddressesBucketMiddles) {
+  SpeedZoom zoom(100, 10);
+  const auto entry = zoom.on_update(util::Seconds{0.1}, 4);
+  EXPECT_GE(entry, 40u);
+  EXPECT_LT(entry, 50u);
+}
+
+TEST(SpeedZoom, DwellZoomsIn) {
+  SpeedZoom zoom(100, 10);
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t += 0.05;
+    zoom.on_update(util::Seconds{t}, 4);  // dwell on island 4
+  }
+  EXPECT_EQ(zoom.mode(), SpeedZoom::Mode::Fine);
+  // Fine mode spreads islands across bucket 4 (entries 40..49); move
+  // the hand SLOWLY (island by island) so the zoom stays fine.
+  std::size_t lo = 99, hi = 0;
+  for (int island = 4; island >= 0; --island) {
+    t += 0.3;
+    lo = zoom.on_update(util::Seconds{t}, static_cast<std::size_t>(island));
+  }
+  for (int island = 0; island <= 9; ++island) {
+    t += 0.3;
+    hi = zoom.on_update(util::Seconds{t}, static_cast<std::size_t>(island));
+  }
+  EXPECT_EQ(zoom.mode(), SpeedZoom::Mode::Fine);
+  EXPECT_EQ(lo, 40u);
+  EXPECT_EQ(hi, 49u);
+}
+
+TEST(SpeedZoom, FastMotionZoomsBackOut) {
+  SpeedZoom::Config config;
+  SpeedZoom zoom(100, 10, config);
+  double t = 0.0;
+  // Dwell -> fine.
+  for (int i = 0; i < 40; ++i) {
+    t += 0.05;
+    zoom.on_update(util::Seconds{t}, 4);
+  }
+  ASSERT_EQ(zoom.mode(), SpeedZoom::Mode::Fine);
+  // Whip across islands quickly -> coarse again.
+  for (int i = 0; i < 10; ++i) {
+    t += 0.02;
+    zoom.on_update(util::Seconds{t}, static_cast<std::size_t>(i % 10));
+  }
+  EXPECT_EQ(zoom.mode(), SpeedZoom::Mode::Coarse);
+}
+
+TEST(SpeedZoom, ResetRestoresCoarse) {
+  SpeedZoom zoom(100, 10);
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t += 0.05;
+    zoom.on_update(util::Seconds{t}, 2);
+  }
+  ASSERT_EQ(zoom.mode(), SpeedZoom::Mode::Fine);
+  zoom.reset();
+  EXPECT_EQ(zoom.mode(), SpeedZoom::Mode::Coarse);
+  EXPECT_DOUBLE_EQ(zoom.velocity(), 0.0);
+}
+
+// --- fast scroll -------------------------------------------------------------------
+
+TEST(FastScroll, InactiveBelowThreshold) {
+  FastScrollMode turbo({500, util::Seconds{0.1}});
+  EXPECT_EQ(turbo.on_sample(util::Seconds{0.0}, util::AdcCounts{400}), 0);
+  EXPECT_FALSE(turbo.active());
+}
+
+TEST(FastScroll, ImmediateStepOnEntry) {
+  FastScrollMode turbo({500, util::Seconds{0.1}});
+  EXPECT_EQ(turbo.on_sample(util::Seconds{0.0}, util::AdcCounts{600}), 1);
+  EXPECT_TRUE(turbo.active());
+}
+
+TEST(FastScroll, RepeatsAtPeriod) {
+  FastScrollMode turbo({500, util::Seconds{0.1}});
+  turbo.on_sample(util::Seconds{0.0}, util::AdcCounts{600});
+  EXPECT_EQ(turbo.on_sample(util::Seconds{0.05}, util::AdcCounts{600}), 0);
+  EXPECT_EQ(turbo.on_sample(util::Seconds{0.11}, util::AdcCounts{600}), 1);
+  // A long stay emits catch-up steps.
+  EXPECT_EQ(turbo.on_sample(util::Seconds{0.45}, util::AdcCounts{600}), 3);
+}
+
+TEST(FastScroll, LeavingZoneDeactivates) {
+  FastScrollMode turbo({500, util::Seconds{0.1}});
+  turbo.on_sample(util::Seconds{0.0}, util::AdcCounts{600});
+  EXPECT_EQ(turbo.on_sample(util::Seconds{0.2}, util::AdcCounts{300}), 0);
+  EXPECT_FALSE(turbo.active());
+  // Re-entry steps immediately again.
+  EXPECT_EQ(turbo.on_sample(util::Seconds{0.3}, util::AdcCounts{600}), 1);
+}
+
+}  // namespace
+}  // namespace distscroll::core

@@ -1,0 +1,144 @@
+// Randomised robustness ("fuzz") tests: throw chaotic hands, button
+// mashing, link garbage and hostile surfaces at the full device and
+// check the invariants that must never break.
+#include <gtest/gtest.h>
+
+#include "core/distscroll_device.h"
+#include "menu/menu_builder.h"
+#include "pda/pda_host.h"
+#include "wireless/packet.h"
+
+namespace distscroll {
+namespace {
+
+class DeviceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeviceFuzz, ChaoticUseNeverBreaksInvariants) {
+  sim::Rng rng(GetParam());
+  sim::Rng menu_rng = rng.fork(1);
+  auto menu_root = menu::make_random_menu(menu_rng, 2, 8, 3);
+
+  sim::EventQueue queue;
+  core::DistScrollDevice::Config config;
+  // Randomise the configuration too.
+  config.long_menu = static_cast<core::LongMenuStrategy>(rng.fork(2).uniform_int(0, 2));
+  config.enable_fast_scroll = rng.fork(3).bernoulli(0.5);
+  config.use_dual_sensor = rng.fork(4).bernoulli(0.5);
+  config.enable_context_gate = rng.fork(5).bernoulli(0.5);
+  config.enable_sensor_duty_cycle = rng.fork(6).bernoulli(0.5);
+  config.scroll.smoothing = static_cast<core::Smoothing>(rng.fork(7).uniform_int(0, 2));
+
+  double distance = 17.0;
+  double pitch = 0.0;
+  core::DistScrollDevice device(config, *menu_root, queue, rng.fork(8));
+  device.set_distance_provider([&](util::Seconds) { return util::Centimeters{distance}; });
+  device.set_tilt_provider([&](util::Seconds) { return util::Radians{pitch}; });
+  device.set_surface(rng.fork(9).bernoulli(0.3) ? sensors::SurfaceProfile::reflective_vest()
+                                                : sensors::SurfaceProfile::gray_jacket());
+  device.power_on();
+
+  sim::Rng action = rng.fork(10);
+  for (int step = 0; step < 400; ++step) {
+    switch (action.uniform_int(0, 6)) {
+      case 0:
+        distance = action.uniform(0.0, 45.0);  // including fold + out of range
+        break;
+      case 1:
+        pitch = action.uniform(-1.5, 1.5);
+        break;
+      case 2:
+        device.select_button().press();
+        break;
+      case 3:
+        device.select_button().release();
+        break;
+      case 4:
+        device.back_button().press();
+        device.back_button().release();
+        break;
+      case 5:
+        device.aux_button().press();
+        device.aux_button().release();
+        break;
+      case 6:
+        break;  // just let time pass
+    }
+    queue.run_until(util::Seconds{queue.now().value + action.uniform(0.005, 0.1)});
+
+    // Invariants.
+    const auto& cursor = device.cursor();
+    ASSERT_LT(cursor.index(), cursor.level_size());
+    ASSERT_LE(cursor.depth(), menu_root->depth());
+    ASSERT_GE(device.mapper().entries(), 1u);
+    if (device.current_chunk()) {
+      ASSERT_LT(*device.current_chunk(), 1000u);
+    }
+  }
+  // The firmware must still be alive and sane.
+  EXPECT_TRUE(device.powered());
+  EXPECT_GT(device.board().mcu().cycles(), 0u);
+  EXPECT_LE(device.board().mcu().ram_used(), 1536u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverProduceInvalidFrames) {
+  sim::Rng rng(GetParam());
+  wireless::FrameDecoder decoder;
+  int decoded = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (const auto frame = decoder.feed(byte)) {
+      ++decoded;
+      // Anything that decodes must be structurally valid.
+      ASSERT_LE(frame->payload.size(), wireless::kMaxPayload);
+    }
+  }
+  // Random bytes occasionally form valid CRC-protected frames (1/256
+  // per sync hit) — but only rarely.
+  EXPECT_LT(decoded, 40);
+}
+
+TEST_P(DecoderFuzz, GarbageBetweenValidFramesNeverDesyncsForLong) {
+  sim::Rng rng(GetParam() + 500);
+  wireless::FrameDecoder decoder;
+  int delivered = 0;
+  constexpr int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    // Garbage burst.
+    const int garbage = rng.uniform_int(0, 12);
+    for (int g = 0; g < garbage; ++g) {
+      decoder.feed(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    // A valid frame.
+    wireless::Frame frame;
+    frame.type = wireless::FrameType::State;
+    frame.seq = static_cast<std::uint8_t>(i);
+    frame.payload = {static_cast<std::uint8_t>(i), 7};
+    for (std::uint8_t byte : wireless::encode(frame)) {
+      if (decoder.feed(byte)) ++delivered;
+    }
+  }
+  // Garbage may swallow the frame that immediately follows it (a fake
+  // sync can capture real bytes), but the decoder must keep recovering:
+  // the large majority of frames deliver.
+  EXPECT_GT(delivered, kFrames * 7 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PdaHostFuzz, RandomByteStreamIsHarmless) {
+  auto menu_root = menu::make_flat_menu(10);
+  pda::PdaHost host({}, *menu_root);
+  sim::Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    host.on_byte(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    ASSERT_LT(host.cursor().index(), host.cursor().level_size());
+  }
+}
+
+}  // namespace
+}  // namespace distscroll

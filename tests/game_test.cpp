@@ -1,0 +1,142 @@
+// Tests for the altitude-game logic (paper application area 3).
+#include <gtest/gtest.h>
+
+#include "game/altitude_game.h"
+
+namespace distscroll::game {
+namespace {
+
+AltitudeGame make(std::uint64_t seed = 1) { return AltitudeGame({}, sim::Rng(seed)); }
+
+TEST(AltitudeGame, StartsWithOneWallMidPlane) {
+  auto game = make();
+  EXPECT_EQ(game.walls().size(), 1u);
+  EXPECT_EQ(game.plane_y(), display::kDisplayHeight / 2);
+  EXPECT_EQ(game.score(), 0);
+  EXPECT_EQ(game.crashes(), 0);
+}
+
+TEST(AltitudeGame, AltitudeClamped) {
+  auto game = make();
+  game.set_altitude(-5);
+  EXPECT_EQ(game.plane_y(), 0);
+  game.set_altitude(1000);
+  EXPECT_EQ(game.plane_y(), display::kDisplayHeight - 1);
+}
+
+TEST(AltitudeGame, DistanceMapsLinearly) {
+  auto game = make();
+  game.set_altitude_from_distance(4.0, 4.0, 30.0);
+  EXPECT_EQ(game.plane_y(), 0);
+  game.set_altitude_from_distance(30.0, 4.0, 30.0);
+  EXPECT_EQ(game.plane_y(), display::kDisplayHeight - 1);
+  game.set_altitude_from_distance(17.0, 4.0, 30.0);
+  EXPECT_NEAR(game.plane_y(), display::kDisplayHeight / 2, 1);
+}
+
+TEST(AltitudeGame, WallsApproachAndRespawn) {
+  auto game = make();
+  const int x0 = game.walls()[0].x;
+  game.step();
+  EXPECT_EQ(game.walls()[0].x, x0 - 1);
+  for (int i = 0; i < 300; ++i) game.step();
+  EXPECT_GE(game.walls().size(), 1u);   // always some walls on screen
+  for (const auto& wall : game.walls()) EXPECT_GE(wall.x, 0);
+}
+
+TEST(AltitudeGame, ThreadingTheGapScores) {
+  auto game = make();
+  // Put the plane in the gap of the first wall and run until it passes.
+  const auto& wall = game.walls()[0];
+  game.set_altitude(wall.gap_y);
+  const int steps = wall.x - game.config().plane_x;
+  for (int i = 0; i < steps; ++i) {
+    game.set_altitude(game.walls()[0].gap_y);  // track the gap
+    game.step();
+  }
+  EXPECT_EQ(game.score(), game.config().pass_score);
+  EXPECT_EQ(game.crashes(), 0);
+}
+
+TEST(AltitudeGame, MissingTheGapCrashes) {
+  auto game = make();
+  const auto& wall = game.walls()[0];
+  // Park well outside the gap.
+  const int off_gap = (wall.gap_y > game.config().height / 2) ? 0 : game.config().height - 1;
+  game.set_altitude(off_gap);
+  const int steps = wall.x - game.config().plane_x;
+  for (int i = 0; i < steps; ++i) game.step();
+  EXPECT_EQ(game.crashes(), 1);
+  EXPECT_EQ(game.score(), 0);
+}
+
+TEST(AltitudeGame, BulletBlastsWall) {
+  auto game = make();
+  game.set_altitude(0);  // out of the way of the gap logic
+  game.fire();
+  EXPECT_TRUE(game.bullet_in_flight());
+  int guard = 0;
+  while (game.bullet_in_flight() && ++guard < 100) game.step();
+  // The bullet either hit the wall (+blast score) or flew off screen.
+  if (game.score() > 0) {
+    EXPECT_EQ(game.score(), game.config().blast_score);
+    EXPECT_TRUE(game.walls().empty() || game.walls()[0].destroyed ||
+                game.walls()[0].x > game.config().plane_x);
+  }
+}
+
+TEST(AltitudeGame, DestroyedWallDoesNotCrash) {
+  auto game = make();
+  game.fire();
+  int guard = 0;
+  while (game.bullet_in_flight() && ++guard < 100) game.step();
+  if (!game.walls().empty() && game.walls()[0].destroyed) {
+    game.set_altitude(0);  // would crash into an intact wall
+    const int steps = game.walls()[0].x - game.config().plane_x;
+    for (int i = 0; i < steps && !game.walls().empty(); ++i) game.step();
+    EXPECT_EQ(game.crashes(), 0);
+  }
+}
+
+TEST(AltitudeGame, OnlyOneBulletAtATime) {
+  auto game = make();
+  game.fire();
+  game.step();
+  game.fire();  // ignored while in flight
+  EXPECT_TRUE(game.bullet_in_flight());
+}
+
+TEST(AltitudeGame, RenderDrawsPlaneAndWalls) {
+  auto game = make();
+  display::Bt96040 panel;
+  game.render(panel);
+  // The plane wedge is at plane_x, plane_y.
+  EXPECT_TRUE(panel.pixel(game.config().plane_x, game.plane_y()));
+  // Wall column has pixels outside the gap.
+  const auto& wall = game.walls()[0];
+  const int outside = (wall.gap_y + wall.gap_half + 2) % display::kDisplayHeight;
+  EXPECT_TRUE(panel.pixel(wall.x, outside) ||
+              panel.pixel(wall.x, 0));  // one of the solid rows
+  // Inside the gap is clear.
+  EXPECT_FALSE(panel.pixel(wall.x, wall.gap_y));
+}
+
+TEST(AltitudeGame, DeterministicForSeed) {
+  auto a = make(42);
+  auto b = make(42);
+  for (int i = 0; i < 200; ++i) {
+    a.set_altitude(i % display::kDisplayHeight);
+    b.set_altitude(i % display::kDisplayHeight);
+    if (i % 17 == 0) {
+      a.fire();
+      b.fire();
+    }
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.score(), b.score());
+  EXPECT_EQ(a.crashes(), b.crashes());
+}
+
+}  // namespace
+}  // namespace distscroll::game

@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event kernel and RNG streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace distscroll::sim {
+namespace {
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(util::Seconds{3.0}, [&] { order.push_back(3); });
+  q.schedule_at(util::Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule_at(util::Seconds{2.0}, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeEventsKeepInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(util::Seconds{1.0}, [&, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(util::Seconds{2.5}, [&] { seen = q.now().value; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(q.now().value, 2.5);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(util::Seconds{1.0}, [&] {
+    q.schedule_after(util::Seconds{0.5}, [&] { fired_at = q.now().value; });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(EventQueue, SchedulingInThePastClampsToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(util::Seconds{2.0}, [&] {
+    q.schedule_at(util::Seconds{0.5}, [&] { fired_at = q.now().value; });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);
+}
+
+TEST(EventQueue, CancelPendingEvent) {
+  EventQueue q;
+  bool fired = false;
+  const auto h = q.schedule_at(util::Seconds{1.0}, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));  // already gone
+  q.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(util::Seconds{1.0}, [&] { ++fired; });
+  q.schedule_at(util::Seconds{5.0}, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(util::Seconds{2.0}), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now().value, 2.0);  // observed time even with no event
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilIncludesBoundaryEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(util::Seconds{2.0}, [&] { ++fired; });
+  q.run_until(util::Seconds{2.0});
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, PeriodicSelfRescheduling) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) q.schedule_after(util::Seconds{0.1}, tick);
+  };
+  q.schedule_after(util::Seconds{0.1}, tick);
+  q.run_until(util::Seconds{0.55});
+  EXPECT_EQ(count, 5);
+  q.run_all();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunAllRespectsCap) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.schedule_after(util::Seconds{0.001}, forever); };
+  q.schedule_after(util::Seconds{0.001}, forever);
+  EXPECT_EQ(q.run_all(100), 100u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsStableAndIndependentOfParentDraws) {
+  Rng a(42);
+  Rng child_before = a.fork(7);
+  (void)a.uniform(0, 1);  // parent draws...
+  (void)a.gaussian(0, 1);
+  Rng child_after = a.fork(7);  // ...must not shift the child stream
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child_before.uniform(0, 1), child_after.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkDifferentTagsDiffer) {
+  Rng a(42);
+  Rng c1 = a.fork(1);
+  Rng c2 = a.fork(2);
+  EXPECT_NE(c1.uniform(0, 1), c2.uniform(0, 1));
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianZeroStddevReturnsMean) {
+  Rng r(5);
+  EXPECT_DOUBLE_EQ(r.gaussian(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, ExponentialMeanApproximately) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace distscroll::sim

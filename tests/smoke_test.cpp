@@ -1,0 +1,28 @@
+// End-to-end smoke: build a device over the phone menu, run it, and
+// check the basic wiring holds together.
+#include <gtest/gtest.h>
+
+#include "core/distscroll_device.h"
+#include "menu/phone_menu.h"
+
+namespace distscroll {
+namespace {
+
+TEST(Smoke, DeviceBootsAndScrolls) {
+  auto menu_root = menu::make_phone_menu();
+  sim::EventQueue queue;
+  core::DistScrollDevice::Config config;
+  core::DistScrollDevice device(config, *menu_root, queue, sim::Rng(42));
+  device.power_on();
+
+  // Hold the device at a middle distance for a second of simulated time.
+  device.set_distance_provider([](util::Seconds) { return util::Centimeters{17.0}; });
+  queue.run_until(util::Seconds{1.0});
+
+  EXPECT_GT(device.board().mcu().cycles(), 0u);
+  EXPECT_GT(device.top_display().frames_written(), 0u);
+  EXPECT_TRUE(device.controller().selection().has_value());
+}
+
+}  // namespace
+}  // namespace distscroll

@@ -1,0 +1,293 @@
+// Unit tests for util: ring buffer, fixed point, CRC, stats/fitting,
+// CSV, ASCII plot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/ascii_plot.h"
+#include "util/crc.h"
+#include "util/csv.h"
+#include "util/fixed_point.h"
+#include "util/ring_buffer.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace distscroll::util {
+namespace {
+
+// --- units -----------------------------------------------------------------
+
+TEST(Units, CentimetersArithmetic) {
+  const Centimeters a{10.0}, b{4.0};
+  EXPECT_DOUBLE_EQ((a + b).value, 14.0);
+  EXPECT_DOUBLE_EQ((a - b).value, 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 20.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value, 5.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, SecondsFromMilliseconds) {
+  EXPECT_DOUBLE_EQ(milliseconds(38.3).value, 0.0383);
+}
+
+TEST(Units, AdcCountsCompare) {
+  EXPECT_LT(AdcCounts{100}, AdcCounts{200});
+  EXPECT_EQ(AdcCounts{512}, AdcCounts{512});
+}
+
+// --- ring buffer -----------------------------------------------------------
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int, 4> rb;
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.pop(), std::nullopt);
+  EXPECT_EQ(rb.front(), std::nullopt);
+  EXPECT_EQ(rb.back(), std::nullopt);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int, 4> rb;
+  for (int i = 1; i <= 4; ++i) EXPECT_TRUE(rb.try_push(i));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.try_push(5));
+  for (int i = 1; i <= 4; ++i) EXPECT_EQ(rb.pop(), i);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, PushOverwriteEvictsOldest) {
+  RingBuffer<int, 3> rb;
+  EXPECT_FALSE(rb.push_overwrite(1));
+  EXPECT_FALSE(rb.push_overwrite(2));
+  EXPECT_FALSE(rb.push_overwrite(3));
+  EXPECT_TRUE(rb.push_overwrite(4));  // evicts 1
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb.at_from_oldest(0), 2);
+  EXPECT_EQ(rb.at_from_oldest(2), 4);
+}
+
+TEST(RingBuffer, WrapsAroundManyTimes) {
+  RingBuffer<int, 3> rb;
+  for (int i = 0; i < 100; ++i) rb.push_overwrite(i);
+  EXPECT_EQ(rb.front(), 97);
+  EXPECT_EQ(rb.back(), 99);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int, 2> rb;
+  rb.push_overwrite(1);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.try_push(9));
+  EXPECT_EQ(rb.front(), 9);
+}
+
+// --- fixed point -----------------------------------------------------------
+
+TEST(FixedPoint, RoundTripIntegers) {
+  for (int i = -100; i <= 100; i += 7) {
+    EXPECT_EQ(Q8_8::from_int(i).to_int(), i);
+  }
+}
+
+TEST(FixedPoint, FromDoubleQuantizes) {
+  const Q8_8 q = Q8_8::from_double(1.5);
+  EXPECT_DOUBLE_EQ(q.to_double(), 1.5);
+  // 1/256 resolution.
+  EXPECT_NEAR(Q8_8::from_double(0.1).to_double(), 0.1, 1.0 / 256.0);
+}
+
+TEST(FixedPoint, Arithmetic) {
+  const Q8_8 a = Q8_8::from_double(2.5);
+  const Q8_8 b = Q8_8::from_double(1.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 1.25);
+  EXPECT_NEAR((a * b).to_double(), 3.125, 1.0 / 128.0);
+  EXPECT_NEAR((a / b).to_double(), 2.0, 1.0 / 128.0);
+}
+
+TEST(FixedPoint, NegativeValues) {
+  const Q8_8 a = Q8_8::from_double(-3.5);
+  EXPECT_DOUBLE_EQ(a.to_double(), -3.5);
+  EXPECT_NEAR((a * Q8_8::from_int(2)).to_double(), -7.0, 1.0 / 128.0);
+}
+
+// --- CRC ---------------------------------------------------------------------
+
+TEST(Crc, Crc8KnownProperties) {
+  const std::uint8_t empty[] = {0};
+  EXPECT_EQ(crc8({empty, 0}), 0x00);  // empty message: init value
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  const std::uint8_t c = crc8(data);
+  // Appending the CRC makes the residue stable: recompute differs from 0
+  // only for a corrupted stream; here just check determinism and change
+  // detection.
+  std::uint8_t tampered[] = {0x01, 0x02, 0x07};
+  EXPECT_NE(crc8(tampered), c);
+  EXPECT_EQ(crc8(data), c);
+}
+
+TEST(Crc, Crc16DetectsSingleBitFlips) {
+  std::uint8_t data[] = {0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  const std::uint16_t base = crc16_ccitt(data);
+  for (std::size_t byte = 0; byte < sizeof(data); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc16_ccitt(data), base) << "missed flip at " << byte << ":" << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc, Crc16CcittKnownVector) {
+  // "123456789" -> 0x29B1 for CRC-16/CCITT-FALSE.
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(msg), 0x29B1);
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, SummarizeBasics) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const double one[] = {7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double values[] = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 25.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const double xs[] = {0.0, 1.0, 2.0, 3.0};
+  const double ys[] = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisy) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 2.0 + ((i % 2) ? 0.5 : -0.5));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Stats, HyperbolicFitRecoversParameters) {
+  // y = 10.4/(x + 0.6) + 0.0 — the GP2D120 idealised curve.
+  std::vector<double> xs, ys;
+  for (double x = 4.0; x <= 30.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(10.4 / (x + 0.6));
+  }
+  const HyperbolicFit fit = fit_hyperbolic(xs, ys);
+  EXPECT_NEAR(fit.a, 10.4, 0.2);
+  EXPECT_NEAR(fit.k, 0.6, 0.1);
+  EXPECT_NEAR(fit.c, 0.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(Stats, PowerFitRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 30.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(5.0 * std::pow(x, -0.9));
+  }
+  const PowerFit fit = fit_power(xs, ys);
+  EXPECT_NEAR(fit.A, 5.0, 0.05);
+  EXPECT_NEAR(fit.b, -0.9, 0.01);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(Stats, RSquaredPerfectAndPoor) {
+  const double obs[] = {1.0, 2.0, 3.0};
+  const double good[] = {1.0, 2.0, 3.0};
+  const double bad[] = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(obs, good), 1.0);
+  EXPECT_LT(r_squared(obs, bad), 0.0);  // worse than the mean predictor
+}
+
+TEST(Stats, WelchTSeparatesDistinctMeans) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(10.0 + 0.1 * (i % 5));
+    b.push_back(12.0 + 0.1 * (i % 5));
+  }
+  EXPECT_LT(welch_t(a, b), -2.0);
+  EXPECT_GT(welch_t(b, a), 2.0);
+  EXPECT_NEAR(welch_t(a, a), 0.0, 1e-12);
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "test_csv_out.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row({1.5, 2.5});
+    csv.row({std::vector<std::string>{"x,y", "has \"quote\""}});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"has \"\"quote\"\"\"");
+  std::remove(path.c_str());
+}
+
+// --- ASCII plot ----------------------------------------------------------------
+
+TEST(AsciiPlot, PlotsPointsAndFit) {
+  const double xs[] = {1.0, 2.0, 3.0};
+  const double ys[] = {1.0, 4.0, 9.0};
+  PlotOptions options;
+  options.title = "T";
+  const std::string plot = ascii_plot(xs, ys, xs, ys, options);
+  EXPECT_NE(plot.find('T'), std::string::npos);
+  // Coincident point+fit cells render as '#'.
+  EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyDataSafe) {
+  const std::string plot = ascii_plot({}, {}, {}, {}, {});
+  EXPECT_EQ(plot, "(no data)\n");
+}
+
+TEST(AsciiPlot, LogAxisSkipsNonPositive) {
+  const double xs[] = {-1.0, 1.0, 10.0, 100.0};
+  const double ys[] = {5.0, 1.0, 2.0, 3.0};
+  PlotOptions options;
+  options.log_x = true;
+  const std::string plot = ascii_plot(xs, ys, {}, {}, options);
+  EXPECT_NE(plot.find('*'), std::string::npos);  // positive points plotted
+}
+
+}  // namespace
+}  // namespace distscroll::util

@@ -1,0 +1,220 @@
+// Unit tests for telemetry framing, the lossy RF link and the host-side
+// logger — the end-to-end argument in miniature: corruption on the wire,
+// CRC rejection at the host.
+#include <gtest/gtest.h>
+
+#include "hw/uart.h"
+#include "sim/event_queue.h"
+#include "wireless/host_logger.h"
+#include "wireless/packet.h"
+#include "wireless/rf_link.h"
+
+namespace distscroll::wireless {
+namespace {
+
+// --- framing ----------------------------------------------------------------
+
+TEST(Packet, EncodeDecodeRoundTrip) {
+  Frame frame;
+  frame.type = FrameType::ButtonEvent;
+  frame.seq = 42;
+  frame.payload = {1, 2, 3, 4};
+  FrameDecoder decoder;
+  std::optional<Frame> decoded;
+  for (std::uint8_t byte : encode(frame)) decoded = decoder.feed(byte);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+}
+
+TEST(Packet, EmptyPayloadFrame) {
+  Frame frame;
+  frame.type = FrameType::Heartbeat;
+  frame.seq = 0;
+  FrameDecoder decoder;
+  std::optional<Frame> decoded;
+  for (std::uint8_t byte : encode(frame)) decoded = decoder.feed(byte);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Packet, CorruptedByteRejectedByCrc) {
+  Frame frame;
+  frame.type = FrameType::State;
+  frame.payload = {9, 9, 9};
+  auto wire = encode(frame);
+  wire[4] ^= 0x10;  // flip a payload bit
+  FrameDecoder decoder;
+  std::optional<Frame> decoded;
+  for (std::uint8_t byte : wire) decoded = decoder.feed(byte);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoder.crc_errors(), 1u);
+}
+
+TEST(Packet, DecoderResynchronisesAfterGarbage) {
+  FrameDecoder decoder;
+  // Garbage, then a valid frame.
+  for (std::uint8_t b : {0x12, 0x00, 0xFF}) decoder.feed(b);
+  Frame frame;
+  frame.type = FrameType::Debug;
+  frame.seq = 7;
+  frame.payload = {0xAB};
+  std::optional<Frame> decoded;
+  for (std::uint8_t byte : encode(frame)) decoded = decoder.feed(byte);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 7);
+}
+
+TEST(Packet, BogusLengthCountsFramingError) {
+  FrameDecoder decoder;
+  decoder.feed(kSyncByte);
+  decoder.feed(0xFF);  // length way beyond kMaxPayload
+  EXPECT_EQ(decoder.framing_errors(), 1u);
+  // Still decodes a following good frame.
+  Frame frame;
+  frame.payload = {1};
+  std::optional<Frame> decoded;
+  for (std::uint8_t byte : encode(frame)) decoded = decoder.feed(byte);
+  EXPECT_TRUE(decoded.has_value());
+}
+
+TEST(Packet, BackToBackFrames) {
+  FrameDecoder decoder;
+  int decoded = 0;
+  for (int i = 0; i < 10; ++i) {
+    Frame frame;
+    frame.seq = static_cast<std::uint8_t>(i);
+    frame.payload = {static_cast<std::uint8_t>(i)};
+    for (std::uint8_t byte : encode(frame)) {
+      if (decoder.feed(byte)) ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, 10);
+}
+
+TEST(StateReport, PackUnpackRoundTrip) {
+  StateReport report;
+  report.adc_counts = 789;
+  report.menu_depth = 2;
+  report.cursor_index = 5;
+  report.level_size = 9;
+  report.buttons = 0b101;
+  const auto unpacked = StateReport::unpack(report.pack());
+  ASSERT_TRUE(unpacked.has_value());
+  EXPECT_EQ(unpacked->adc_counts, 789);
+  EXPECT_EQ(unpacked->menu_depth, 2);
+  EXPECT_EQ(unpacked->cursor_index, 5);
+  EXPECT_EQ(unpacked->level_size, 9);
+  EXPECT_EQ(unpacked->buttons, 0b101);
+}
+
+TEST(StateReport, UnpackRejectsWrongSize) {
+  std::vector<std::uint8_t> wrong(5);
+  EXPECT_FALSE(StateReport::unpack(wrong).has_value());
+}
+
+// --- RF link + host logger ---------------------------------------------------------
+
+struct LinkFixture : ::testing::Test {
+  sim::EventQueue queue;
+  hw::Uart uart;
+
+  void send_frames(RfLink& link, HostLogger& logger, int count) {
+    link.set_host_sink([&](std::uint8_t byte) { logger.on_byte(byte); });
+    link.start();
+    for (int i = 0; i < count; ++i) {
+      Frame frame;
+      frame.type = FrameType::State;
+      frame.seq = static_cast<std::uint8_t>(i);
+      StateReport report;
+      report.adc_counts = static_cast<std::uint16_t>(100 + i);
+      frame.payload = report.pack();
+      // Pace transmissions so the 64-byte UART FIFO never overflows.
+      for (std::uint8_t byte : encode(frame)) uart.transmit(byte);
+      queue.run_until(util::Seconds{queue.now().value + 0.01});
+    }
+    queue.run_until(util::Seconds{queue.now().value + 0.5});
+  }
+};
+
+TEST_F(LinkFixture, CleanLinkDeliversEverything) {
+  RfLink::Config config;
+  config.byte_loss_probability = 0.0;
+  config.bit_flip_probability = 0.0;
+  RfLink link(config, uart, queue, sim::Rng(1));
+  HostLogger logger(queue);
+  send_frames(link, logger, 20);
+  EXPECT_EQ(logger.frames_received(), 20u);
+  EXPECT_EQ(logger.crc_errors(), 0u);
+  EXPECT_EQ(logger.sequence_gaps(), 0u);
+  ASSERT_TRUE(logger.last_state().has_value());
+  EXPECT_EQ(logger.last_state()->adc_counts, 119);
+}
+
+TEST_F(LinkFixture, LatencyDelaysDelivery) {
+  RfLink::Config config;
+  config.byte_loss_probability = 0.0;
+  config.bit_flip_probability = 0.0;
+  config.latency = util::Seconds{0.050};
+  RfLink link(config, uart, queue, sim::Rng(2));
+  HostLogger logger(queue);
+  link.set_host_sink([&](std::uint8_t byte) { logger.on_byte(byte); });
+  link.start();
+  Frame frame;
+  for (std::uint8_t byte : encode(frame)) uart.transmit(byte);
+  queue.run_until(util::Seconds{0.045});
+  EXPECT_EQ(logger.frames_received(), 0u);  // still in flight
+  queue.run_until(util::Seconds{0.3});
+  EXPECT_EQ(logger.frames_received(), 1u);
+}
+
+TEST_F(LinkFixture, LossyLinkDropsFramesButNeverCorruptsThem) {
+  RfLink::Config config;
+  config.byte_loss_probability = 0.02;
+  config.bit_flip_probability = 0.01;
+  RfLink link(config, uart, queue, sim::Rng(3));
+  HostLogger logger(queue);
+  send_frames(link, logger, 200);
+  EXPECT_LT(logger.frames_received(), 200u);  // some lost
+  EXPECT_GT(logger.frames_received(), 100u);  // most survive
+  // Every delivered state frame carries a valid payload.
+  for (const auto& event : logger.events()) {
+    if (event.frame.type == FrameType::State) {
+      const auto report = StateReport::unpack(event.frame.payload);
+      ASSERT_TRUE(report.has_value());
+      EXPECT_GE(report->adc_counts, 100);
+      EXPECT_LT(report->adc_counts, 300);
+    }
+  }
+  // Gaps observed match the loss.
+  EXPECT_GT(logger.sequence_gaps() + logger.crc_errors(), 0u);
+}
+
+TEST_F(LinkFixture, LinkCountersConsistent) {
+  RfLink::Config config;
+  config.byte_loss_probability = 0.05;
+  RfLink link(config, uart, queue, sim::Rng(4));
+  HostLogger logger(queue);
+  send_frames(link, logger, 50);
+  EXPECT_GT(link.bytes_sent(), 0u);
+  EXPECT_GT(link.bytes_lost(), 0u);
+  EXPECT_LT(link.bytes_lost(), link.bytes_sent());
+}
+
+TEST_F(LinkFixture, StopHaltsPumping) {
+  RfLink::Config config;
+  config.byte_loss_probability = 0.0;
+  config.bit_flip_probability = 0.0;
+  RfLink link(config, uart, queue, sim::Rng(5));
+  HostLogger logger(queue);
+  link.set_host_sink([&](std::uint8_t byte) { logger.on_byte(byte); });
+  link.start();
+  link.stop();
+  Frame frame;
+  for (std::uint8_t byte : encode(frame)) uart.transmit(byte);
+  queue.run_until(util::Seconds{1.0});
+  EXPECT_EQ(logger.frames_received(), 0u);
+}
+
+}  // namespace
+}  // namespace distscroll::wireless
