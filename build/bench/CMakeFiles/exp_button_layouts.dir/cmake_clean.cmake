@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_button_layouts.dir/exp_button_layouts.cpp.o"
+  "CMakeFiles/exp_button_layouts.dir/exp_button_layouts.cpp.o.d"
+  "exp_button_layouts"
+  "exp_button_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_button_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

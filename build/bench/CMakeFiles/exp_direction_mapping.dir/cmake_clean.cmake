@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_direction_mapping.dir/exp_direction_mapping.cpp.o"
+  "CMakeFiles/exp_direction_mapping.dir/exp_direction_mapping.cpp.o.d"
+  "exp_direction_mapping"
+  "exp_direction_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_direction_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

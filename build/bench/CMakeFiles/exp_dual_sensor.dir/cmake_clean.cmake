@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_dual_sensor.dir/exp_dual_sensor.cpp.o"
+  "CMakeFiles/exp_dual_sensor.dir/exp_dual_sensor.cpp.o.d"
+  "exp_dual_sensor"
+  "exp_dual_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_dual_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

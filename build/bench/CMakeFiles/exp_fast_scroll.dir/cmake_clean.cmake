@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fast_scroll.dir/exp_fast_scroll.cpp.o"
+  "CMakeFiles/exp_fast_scroll.dir/exp_fast_scroll.cpp.o.d"
+  "exp_fast_scroll"
+  "exp_fast_scroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fast_scroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

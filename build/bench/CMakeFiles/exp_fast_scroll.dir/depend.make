@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fast_scroll.
+# This may be replaced when dependencies are built.

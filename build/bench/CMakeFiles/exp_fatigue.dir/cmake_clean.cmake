@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fatigue.dir/exp_fatigue.cpp.o"
+  "CMakeFiles/exp_fatigue.dir/exp_fatigue.cpp.o.d"
+  "exp_fatigue"
+  "exp_fatigue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fatigue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

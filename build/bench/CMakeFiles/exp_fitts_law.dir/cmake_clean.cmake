@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fitts_law.dir/exp_fitts_law.cpp.o"
+  "CMakeFiles/exp_fitts_law.dir/exp_fitts_law.cpp.o.d"
+  "exp_fitts_law"
+  "exp_fitts_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fitts_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

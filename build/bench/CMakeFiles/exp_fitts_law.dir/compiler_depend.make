@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fitts_law.
+# This may be replaced when dependencies are built.

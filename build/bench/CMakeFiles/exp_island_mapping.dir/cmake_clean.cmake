@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_island_mapping.dir/exp_island_mapping.cpp.o"
+  "CMakeFiles/exp_island_mapping.dir/exp_island_mapping.cpp.o.d"
+  "exp_island_mapping"
+  "exp_island_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_island_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

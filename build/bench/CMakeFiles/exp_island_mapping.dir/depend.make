@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_island_mapping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_long_menus.dir/exp_long_menus.cpp.o"
+  "CMakeFiles/exp_long_menus.dir/exp_long_menus.cpp.o.d"
+  "exp_long_menus"
+  "exp_long_menus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_long_menus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

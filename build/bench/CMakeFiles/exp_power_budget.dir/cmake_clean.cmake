@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_power_budget.dir/exp_power_budget.cpp.o"
+  "CMakeFiles/exp_power_budget.dir/exp_power_budget.cpp.o.d"
+  "exp_power_budget"
+  "exp_power_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

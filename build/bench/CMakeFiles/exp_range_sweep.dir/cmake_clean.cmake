@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_range_sweep.dir/exp_range_sweep.cpp.o"
+  "CMakeFiles/exp_range_sweep.dir/exp_range_sweep.cpp.o.d"
+  "exp_range_sweep"
+  "exp_range_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_range_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_scroll_comparison.dir/exp_scroll_comparison.cpp.o"
+  "CMakeFiles/exp_scroll_comparison.dir/exp_scroll_comparison.cpp.o.d"
+  "exp_scroll_comparison"
+  "exp_scroll_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_scroll_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

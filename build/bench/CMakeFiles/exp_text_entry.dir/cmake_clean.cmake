@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_text_entry.dir/exp_text_entry.cpp.o"
+  "CMakeFiles/exp_text_entry.dir/exp_text_entry.cpp.o.d"
+  "exp_text_entry"
+  "exp_text_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_text_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_text_entry.
+# This may be replaced when dependencies are built.

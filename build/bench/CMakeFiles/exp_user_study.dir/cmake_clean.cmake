@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_user_study.dir/exp_user_study.cpp.o"
+  "CMakeFiles/exp_user_study.dir/exp_user_study.cpp.o.d"
+  "exp_user_study"
+  "exp_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

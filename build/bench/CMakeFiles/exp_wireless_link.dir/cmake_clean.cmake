@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_wireless_link.dir/exp_wireless_link.cpp.o"
+  "CMakeFiles/exp_wireless_link.dir/exp_wireless_link.cpp.o.d"
+  "exp_wireless_link"
+  "exp_wireless_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_wireless_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

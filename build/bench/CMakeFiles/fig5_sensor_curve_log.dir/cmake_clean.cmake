@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sensor_curve_log.dir/fig5_sensor_curve_log.cpp.o"
+  "CMakeFiles/fig5_sensor_curve_log.dir/fig5_sensor_curve_log.cpp.o.d"
+  "fig5_sensor_curve_log"
+  "fig5_sensor_curve_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sensor_curve_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altitude_game.dir/altitude_game.cpp.o"
+  "CMakeFiles/altitude_game.dir/altitude_game.cpp.o.d"
+  "altitude_game"
+  "altitude_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altitude_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

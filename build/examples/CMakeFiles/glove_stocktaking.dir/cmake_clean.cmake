@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glove_stocktaking.dir/glove_stocktaking.cpp.o"
+  "CMakeFiles/glove_stocktaking.dir/glove_stocktaking.cpp.o.d"
+  "glove_stocktaking"
+  "glove_stocktaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glove_stocktaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for glove_stocktaking.
+# This may be replaced when dependencies are built.

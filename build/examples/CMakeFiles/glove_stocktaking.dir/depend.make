@@ -1,0 +1,2 @@
+# Empty dependencies file for glove_stocktaking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pda_addon_demo.dir/pda_addon_demo.cpp.o"
+  "CMakeFiles/pda_addon_demo.dir/pda_addon_demo.cpp.o.d"
+  "pda_addon_demo"
+  "pda_addon_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pda_addon_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phone_menu_demo.dir/phone_menu_demo.cpp.o"
+  "CMakeFiles/phone_menu_demo.dir/phone_menu_demo.cpp.o.d"
+  "phone_menu_demo"
+  "phone_menu_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phone_menu_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

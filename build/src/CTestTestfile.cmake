@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("hw")
+subdirs("sensors")
+subdirs("display")
+subdirs("input")
+subdirs("menu")
+subdirs("wireless")
+subdirs("core")
+subdirs("pda")
+subdirs("text")
+subdirs("game")
+subdirs("baselines")
+subdirs("human")
+subdirs("study")

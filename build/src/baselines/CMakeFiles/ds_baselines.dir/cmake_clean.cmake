@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_baselines.dir/button_scroll.cpp.o"
+  "CMakeFiles/ds_baselines.dir/button_scroll.cpp.o.d"
+  "CMakeFiles/ds_baselines.dir/distance_scroll.cpp.o"
+  "CMakeFiles/ds_baselines.dir/distance_scroll.cpp.o.d"
+  "CMakeFiles/ds_baselines.dir/radial_scroll.cpp.o"
+  "CMakeFiles/ds_baselines.dir/radial_scroll.cpp.o.d"
+  "CMakeFiles/ds_baselines.dir/tilt_scroll.cpp.o"
+  "CMakeFiles/ds_baselines.dir/tilt_scroll.cpp.o.d"
+  "CMakeFiles/ds_baselines.dir/wheel_scroll.cpp.o"
+  "CMakeFiles/ds_baselines.dir/wheel_scroll.cpp.o.d"
+  "libds_baselines.a"
+  "libds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/ds_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/calibration_store.cpp" "src/core/CMakeFiles/ds_core.dir/calibration_store.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/calibration_store.cpp.o.d"
+  "/root/repo/src/core/device_calibration.cpp" "src/core/CMakeFiles/ds_core.dir/device_calibration.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/device_calibration.cpp.o.d"
+  "/root/repo/src/core/distscroll_device.cpp" "src/core/CMakeFiles/ds_core.dir/distscroll_device.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/distscroll_device.cpp.o.d"
+  "/root/repo/src/core/dual_sensor.cpp" "src/core/CMakeFiles/ds_core.dir/dual_sensor.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/dual_sensor.cpp.o.d"
+  "/root/repo/src/core/fast_scroll.cpp" "src/core/CMakeFiles/ds_core.dir/fast_scroll.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/fast_scroll.cpp.o.d"
+  "/root/repo/src/core/island_mapper.cpp" "src/core/CMakeFiles/ds_core.dir/island_mapper.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/island_mapper.cpp.o.d"
+  "/root/repo/src/core/scroll_controller.cpp" "src/core/CMakeFiles/ds_core.dir/scroll_controller.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/scroll_controller.cpp.o.d"
+  "/root/repo/src/core/speed_zoom.cpp" "src/core/CMakeFiles/ds_core.dir/speed_zoom.cpp.o" "gcc" "src/core/CMakeFiles/ds_core.dir/speed_zoom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ds_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/ds_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/ds_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ds_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/menu/CMakeFiles/ds_menu.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/ds_wireless.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

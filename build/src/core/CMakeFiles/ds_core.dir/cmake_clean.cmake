@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/calibration.cpp.o"
+  "CMakeFiles/ds_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/ds_core.dir/calibration_store.cpp.o"
+  "CMakeFiles/ds_core.dir/calibration_store.cpp.o.d"
+  "CMakeFiles/ds_core.dir/device_calibration.cpp.o"
+  "CMakeFiles/ds_core.dir/device_calibration.cpp.o.d"
+  "CMakeFiles/ds_core.dir/distscroll_device.cpp.o"
+  "CMakeFiles/ds_core.dir/distscroll_device.cpp.o.d"
+  "CMakeFiles/ds_core.dir/dual_sensor.cpp.o"
+  "CMakeFiles/ds_core.dir/dual_sensor.cpp.o.d"
+  "CMakeFiles/ds_core.dir/fast_scroll.cpp.o"
+  "CMakeFiles/ds_core.dir/fast_scroll.cpp.o.d"
+  "CMakeFiles/ds_core.dir/island_mapper.cpp.o"
+  "CMakeFiles/ds_core.dir/island_mapper.cpp.o.d"
+  "CMakeFiles/ds_core.dir/scroll_controller.cpp.o"
+  "CMakeFiles/ds_core.dir/scroll_controller.cpp.o.d"
+  "CMakeFiles/ds_core.dir/speed_zoom.cpp.o"
+  "CMakeFiles/ds_core.dir/speed_zoom.cpp.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/display/bt96040.cpp" "src/display/CMakeFiles/ds_display.dir/bt96040.cpp.o" "gcc" "src/display/CMakeFiles/ds_display.dir/bt96040.cpp.o.d"
+  "/root/repo/src/display/display_driver.cpp" "src/display/CMakeFiles/ds_display.dir/display_driver.cpp.o" "gcc" "src/display/CMakeFiles/ds_display.dir/display_driver.cpp.o.d"
+  "/root/repo/src/display/font.cpp" "src/display/CMakeFiles/ds_display.dir/font.cpp.o" "gcc" "src/display/CMakeFiles/ds_display.dir/font.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ds_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_display.dir/bt96040.cpp.o"
+  "CMakeFiles/ds_display.dir/bt96040.cpp.o.d"
+  "CMakeFiles/ds_display.dir/display_driver.cpp.o"
+  "CMakeFiles/ds_display.dir/display_driver.cpp.o.d"
+  "CMakeFiles/ds_display.dir/font.cpp.o"
+  "CMakeFiles/ds_display.dir/font.cpp.o.d"
+  "libds_display.a"
+  "libds_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

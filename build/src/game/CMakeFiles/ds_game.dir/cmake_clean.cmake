@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_game.dir/altitude_game.cpp.o"
+  "CMakeFiles/ds_game.dir/altitude_game.cpp.o.d"
+  "libds_game.a"
+  "libds_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_human.dir/motion_planner.cpp.o"
+  "CMakeFiles/ds_human.dir/motion_planner.cpp.o.d"
+  "CMakeFiles/ds_human.dir/user_profile.cpp.o"
+  "CMakeFiles/ds_human.dir/user_profile.cpp.o.d"
+  "libds_human.a"
+  "libds_human.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_human.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/adc.cpp" "src/hw/CMakeFiles/ds_hw.dir/adc.cpp.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/adc.cpp.o.d"
+  "/root/repo/src/hw/battery.cpp" "src/hw/CMakeFiles/ds_hw.dir/battery.cpp.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/battery.cpp.o.d"
+  "/root/repo/src/hw/gpio.cpp" "src/hw/CMakeFiles/ds_hw.dir/gpio.cpp.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/gpio.cpp.o.d"
+  "/root/repo/src/hw/i2c.cpp" "src/hw/CMakeFiles/ds_hw.dir/i2c.cpp.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/i2c.cpp.o.d"
+  "/root/repo/src/hw/mcu.cpp" "src/hw/CMakeFiles/ds_hw.dir/mcu.cpp.o" "gcc" "src/hw/CMakeFiles/ds_hw.dir/mcu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_hw.dir/adc.cpp.o"
+  "CMakeFiles/ds_hw.dir/adc.cpp.o.d"
+  "CMakeFiles/ds_hw.dir/battery.cpp.o"
+  "CMakeFiles/ds_hw.dir/battery.cpp.o.d"
+  "CMakeFiles/ds_hw.dir/gpio.cpp.o"
+  "CMakeFiles/ds_hw.dir/gpio.cpp.o.d"
+  "CMakeFiles/ds_hw.dir/i2c.cpp.o"
+  "CMakeFiles/ds_hw.dir/i2c.cpp.o.d"
+  "CMakeFiles/ds_hw.dir/mcu.cpp.o"
+  "CMakeFiles/ds_hw.dir/mcu.cpp.o.d"
+  "libds_hw.a"
+  "libds_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

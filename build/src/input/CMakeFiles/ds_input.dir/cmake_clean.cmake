@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_input.dir/button.cpp.o"
+  "CMakeFiles/ds_input.dir/button.cpp.o.d"
+  "libds_input.a"
+  "libds_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_menu.dir/menu_builder.cpp.o"
+  "CMakeFiles/ds_menu.dir/menu_builder.cpp.o.d"
+  "CMakeFiles/ds_menu.dir/phone_menu.cpp.o"
+  "CMakeFiles/ds_menu.dir/phone_menu.cpp.o.d"
+  "libds_menu.a"
+  "libds_menu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_menu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_pda.dir/pda_addon.cpp.o"
+  "CMakeFiles/ds_pda.dir/pda_addon.cpp.o.d"
+  "CMakeFiles/ds_pda.dir/pda_host.cpp.o"
+  "CMakeFiles/ds_pda.dir/pda_host.cpp.o.d"
+  "libds_pda.a"
+  "libds_pda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_pda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

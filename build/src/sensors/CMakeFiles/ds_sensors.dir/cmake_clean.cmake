@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sensors.dir/adxl311.cpp.o"
+  "CMakeFiles/ds_sensors.dir/adxl311.cpp.o.d"
+  "CMakeFiles/ds_sensors.dir/gp2d120.cpp.o"
+  "CMakeFiles/ds_sensors.dir/gp2d120.cpp.o.d"
+  "libds_sensors.a"
+  "libds_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

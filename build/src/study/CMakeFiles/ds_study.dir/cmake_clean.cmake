@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_study.dir/device_study.cpp.o"
+  "CMakeFiles/ds_study.dir/device_study.cpp.o.d"
+  "CMakeFiles/ds_study.dir/metrics.cpp.o"
+  "CMakeFiles/ds_study.dir/metrics.cpp.o.d"
+  "CMakeFiles/ds_study.dir/report.cpp.o"
+  "CMakeFiles/ds_study.dir/report.cpp.o.d"
+  "CMakeFiles/ds_study.dir/session.cpp.o"
+  "CMakeFiles/ds_study.dir/session.cpp.o.d"
+  "CMakeFiles/ds_study.dir/task.cpp.o"
+  "CMakeFiles/ds_study.dir/task.cpp.o.d"
+  "CMakeFiles/ds_study.dir/trial.cpp.o"
+  "CMakeFiles/ds_study.dir/trial.cpp.o.d"
+  "libds_study.a"
+  "libds_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_text.dir/dictionary.cpp.o"
+  "CMakeFiles/ds_text.dir/dictionary.cpp.o.d"
+  "CMakeFiles/ds_text.dir/text_entry.cpp.o"
+  "CMakeFiles/ds_text.dir/text_entry.cpp.o.d"
+  "libds_text.a"
+  "libds_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

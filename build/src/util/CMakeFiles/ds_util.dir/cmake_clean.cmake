@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ds_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ds_util.dir/crc.cpp.o"
+  "CMakeFiles/ds_util.dir/crc.cpp.o.d"
+  "CMakeFiles/ds_util.dir/csv.cpp.o"
+  "CMakeFiles/ds_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ds_util.dir/stats.cpp.o"
+  "CMakeFiles/ds_util.dir/stats.cpp.o.d"
+  "libds_util.a"
+  "libds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

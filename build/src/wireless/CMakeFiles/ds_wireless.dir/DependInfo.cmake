@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/host_logger.cpp" "src/wireless/CMakeFiles/ds_wireless.dir/host_logger.cpp.o" "gcc" "src/wireless/CMakeFiles/ds_wireless.dir/host_logger.cpp.o.d"
+  "/root/repo/src/wireless/packet.cpp" "src/wireless/CMakeFiles/ds_wireless.dir/packet.cpp.o" "gcc" "src/wireless/CMakeFiles/ds_wireless.dir/packet.cpp.o.d"
+  "/root/repo/src/wireless/rf_link.cpp" "src/wireless/CMakeFiles/ds_wireless.dir/rf_link.cpp.o" "gcc" "src/wireless/CMakeFiles/ds_wireless.dir/rf_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ds_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

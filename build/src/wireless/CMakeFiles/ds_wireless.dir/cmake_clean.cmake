@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_wireless.dir/host_logger.cpp.o"
+  "CMakeFiles/ds_wireless.dir/host_logger.cpp.o.d"
+  "CMakeFiles/ds_wireless.dir/packet.cpp.o"
+  "CMakeFiles/ds_wireless.dir/packet.cpp.o.d"
+  "CMakeFiles/ds_wireless.dir/rf_link.cpp.o"
+  "CMakeFiles/ds_wireless.dir/rf_link.cpp.o.d"
+  "libds_wireless.a"
+  "libds_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

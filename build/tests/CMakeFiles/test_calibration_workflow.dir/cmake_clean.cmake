@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration_workflow.dir/calibration_workflow_test.cpp.o"
+  "CMakeFiles/test_calibration_workflow.dir/calibration_workflow_test.cpp.o.d"
+  "test_calibration_workflow"
+  "test_calibration_workflow.pdb"
+  "test_calibration_workflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_controller.dir/core_controller_test.cpp.o"
+  "CMakeFiles/test_core_controller.dir/core_controller_test.cpp.o.d"
+  "test_core_controller"
+  "test_core_controller.pdb"
+  "test_core_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

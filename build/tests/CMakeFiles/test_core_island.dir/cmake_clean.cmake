@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_island.dir/core_island_test.cpp.o"
+  "CMakeFiles/test_core_island.dir/core_island_test.cpp.o.d"
+  "test_core_island"
+  "test_core_island.pdb"
+  "test_core_island[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_island.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/human_test.cpp" "tests/CMakeFiles/test_human.dir/human_test.cpp.o" "gcc" "tests/CMakeFiles/test_human.dir/human_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ds_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/ds_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/ds_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ds_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/menu/CMakeFiles/ds_menu.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/ds_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ds_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/human/CMakeFiles/ds_human.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/ds_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/pda/CMakeFiles/ds_pda.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ds_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/ds_game.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_human.dir/human_test.cpp.o"
+  "CMakeFiles/test_human.dir/human_test.cpp.o.d"
+  "test_human"
+  "test_human.pdb"
+  "test_human[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_human.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

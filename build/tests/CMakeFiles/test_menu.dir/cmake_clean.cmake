@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_menu.dir/menu_test.cpp.o"
+  "CMakeFiles/test_menu.dir/menu_test.cpp.o.d"
+  "test_menu"
+  "test_menu.pdb"
+  "test_menu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_menu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

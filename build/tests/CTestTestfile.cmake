@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_sensors[1]_include.cmake")
+include("/root/repo/build/tests/test_display[1]_include.cmake")
+include("/root/repo/build/tests/test_input[1]_include.cmake")
+include("/root/repo/build/tests/test_menu[1]_include.cmake")
+include("/root/repo/build/tests/test_wireless[1]_include.cmake")
+include("/root/repo/build/tests/test_core_island[1]_include.cmake")
+include("/root/repo/build/tests/test_core_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_core_device[1]_include.cmake")
+include("/root/repo/build/tests/test_human[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_core_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_pda[1]_include.cmake")
+include("/root/repo/build/tests/test_text[1]_include.cmake")
+include("/root/repo/build/tests/test_persistence[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_game[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
