@@ -86,20 +86,25 @@ std::optional<std::size_t> IslandMapper::lookup(util::AdcCounts counts) const {
   return std::nullopt;
 }
 
-std::optional<std::size_t> IslandMapper::select(util::AdcCounts counts,
-                                                std::optional<std::size_t> current) const {
+IslandMapper::Probe IslandMapper::probe(util::AdcCounts counts,
+                                        std::optional<std::size_t> current) const {
   if (current && *current < islands_.size() && config_.hysteresis_counts > 0) {
     const Island& island = islands_[*current];
     const int x = counts.value;
     const int lo = static_cast<int>(island.low) - config_.hysteresis_counts;
     const int hi = static_cast<int>(island.high) + config_.hysteresis_counts;
-    if (x >= lo && x <= hi) return current;
+    if (x >= lo && x <= hi) return {current, false, false};
   }
   auto hit = lookup(counts);
-  if (hit) return hit;
+  if (hit) return {hit, false, true};
   // Selection-free gap: "No selection or change happens if the device is
   // held in a distance between two of those islands."
-  return current;
+  return {current, true, true};
+}
+
+std::optional<std::size_t> IslandMapper::select(util::AdcCounts counts,
+                                                std::optional<std::size_t> current) const {
+  return probe(counts, current).selection;
 }
 
 double IslandMapper::coverage_fraction() const {

@@ -64,11 +64,33 @@ class IslandMapper {
   /// nullopt inside a selection-free gap or out of range.
   [[nodiscard]] std::optional<std::size_t> lookup(util::AdcCounts counts) const;
 
+  /// One table probe, full verdict: the stateful select() result plus
+  /// the facts a caller would otherwise pay a second lookup() for. The
+  /// firmware hot path (ScrollController::on_sample) uses this so gap
+  /// statistics come for free from the single probe.
+  struct Probe {
+    /// New selection (may equal `current`); nullopt only before any
+    /// island was ever hit.
+    std::optional<std::size_t> selection;
+    /// counts fell in no island: selection was carried over.
+    bool in_gap = false;
+    /// The binary search actually ran (false = hysteresis held the
+    /// current island without touching the table — cheaper in cycles).
+    bool table_probed = true;
+  };
+  [[nodiscard]] Probe probe(util::AdcCounts counts, std::optional<std::size_t> current) const;
+
   /// The stateful firmware query: applies hysteresis relative to the
   /// currently selected entry. Returns the new selection (which may be
   /// unchanged); nullopt means "in a gap — keep whatever you had".
+  /// Convenience wrapper over probe().
   [[nodiscard]] std::optional<std::size_t> select(util::AdcCounts counts,
                                                   std::optional<std::size_t> current) const;
+
+  /// Firmware cost of a hysteresis short-circuit (two 16-bit compares);
+  /// charged instead of lookup_cost_cycles() when probe() skips the
+  /// table.
+  [[nodiscard]] static constexpr std::uint64_t hysteresis_hold_cycles() { return 8; }
 
   /// Fraction of the count spectrum [far-counts, near-counts] covered by
   /// islands (for the ablation bench).

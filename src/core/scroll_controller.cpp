@@ -47,12 +47,13 @@ ScrollController::Update ScrollController::on_sample(util::AdcCounts raw) {
   const std::uint16_t filtered = apply_smoothing(raw.value, update.cycles);
 
   const auto before = island_selection_;
-  // Gap statistics use the stateless lookup; the firmware itself only
-  // pays for the (single) stateful select below.
-  if (!mapper_->lookup(util::AdcCounts{filtered})) ++gap_samples_;
-  const auto hit = mapper_->select(util::AdcCounts{filtered}, island_selection_);
-  update.cycles += mapper_->lookup_cost_cycles();
-  if (hit) island_selection_ = hit;
+  // One table probe serves both the selection and the gap statistic (a
+  // second stateless lookup() per sample used to pay for the latter).
+  const auto result = mapper_->probe(util::AdcCounts{filtered}, island_selection_);
+  update.cycles += result.table_probed ? mapper_->lookup_cost_cycles()
+                                       : IslandMapper::hysteresis_hold_cycles();
+  if (result.in_gap) ++gap_samples_;
+  if (result.selection) island_selection_ = result.selection;
   if (island_selection_ != before) {
     ++changes_;
     update.changed = true;

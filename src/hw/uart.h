@@ -25,6 +25,10 @@ class Uart {
   };
 
   using TxCallback = std::function<void(std::uint8_t)>;
+  /// Backpressure hook: fires after each byte leaves the TX FIFO, i.e.
+  /// whenever transmit() space just opened up. Senders with their own
+  /// queues (wireless::ArqSender) use it instead of polling tx_free().
+  using TxSpaceCallback = std::function<void()>;
 
   Uart() : Uart(Config{}) {}
   explicit Uart(Config config) : config_(config) {}
@@ -38,10 +42,17 @@ class Uart {
   bool transmit(std::uint8_t byte) { return tx_fifo_.try_push(byte); }
 
   [[nodiscard]] std::size_t tx_pending() const { return tx_fifo_.size(); }
+  [[nodiscard]] std::size_t tx_free() const { return tx_fifo_.capacity() - tx_fifo_.size(); }
+
+  void set_tx_space_callback(TxSpaceCallback cb) { tx_space_cb_ = std::move(cb); }
 
   /// The wire side clocks out one byte if available; invoked by the
   /// board at byte_time() intervals.
-  std::optional<std::uint8_t> clock_out() { return tx_fifo_.pop(); }
+  std::optional<std::uint8_t> clock_out() {
+    auto byte = tx_fifo_.pop();
+    if (byte && tx_space_cb_) tx_space_cb_();
+    return byte;
+  }
 
   /// The wire side delivers a received byte into the RX FIFO. Returns
   /// false on overflow (byte lost, counted).
@@ -63,6 +74,7 @@ class Uart {
   // adds a software ring in RAM. 64 bytes models base board firmware.
   util::RingBuffer<std::uint8_t, 64> tx_fifo_;
   util::RingBuffer<std::uint8_t, 64> rx_fifo_;
+  TxSpaceCallback tx_space_cb_;
   std::uint64_t rx_overflows_ = 0;
 };
 

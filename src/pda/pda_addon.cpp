@@ -73,10 +73,10 @@ void PdaAddon::send_frame(wireless::FrameType type, std::vector<std::uint8_t> pa
 }
 
 void PdaAddon::on_host_byte(std::uint8_t byte) {
-  const auto frame = host_decoder_.feed(byte);
-  if (!frame) return;
-  if (frame->type == kRateCommand && !frame->payload.empty()) {
-    config_.report_divider = std::max<int>(1, frame->payload[0]);
+  for (auto frame = host_decoder_.feed(byte); frame; frame = host_decoder_.poll()) {
+    if (frame->type == kRateCommand && !frame->payload.empty()) {
+      config_.report_divider = std::max<int>(1, frame->payload[0]);
+    }
   }
 }
 

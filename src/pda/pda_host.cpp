@@ -16,12 +16,13 @@ void PdaHost::rebuild_mapping() {
 }
 
 void PdaHost::on_byte(std::uint8_t byte) {
-  const auto frame = decoder_.feed(byte);
-  if (!frame) return;
-  if (frame->type == kDistanceFrame && frame->payload.size() == 2) {
-    handle_distance(static_cast<std::uint16_t>(frame->payload[0] | (frame->payload[1] << 8)));
-  } else if (frame->type == kButtonFrame && frame->payload.size() == 2) {
-    handle_button(frame->payload[0], frame->payload[1] != 0);
+  // Drain: a decoder resync can complete more than one frame per byte.
+  for (auto frame = decoder_.feed(byte); frame; frame = decoder_.poll()) {
+    if (frame->type == kDistanceFrame && frame->payload.size() == 2) {
+      handle_distance(static_cast<std::uint16_t>(frame->payload[0] | (frame->payload[1] << 8)));
+    } else if (frame->type == kButtonFrame && frame->payload.size() == 2) {
+      handle_button(frame->payload[0], frame->payload[1] != 0);
+    }
   }
 }
 

@@ -1,0 +1,152 @@
+#include "wireless/arq.h"
+
+#include <algorithm>
+
+namespace distscroll::wireless {
+
+// --- sender -----------------------------------------------------------------
+
+bool ArqSender::send(FrameType type, std::vector<std::uint8_t> payload) {
+  if (queue_.size() >= config_.queue_capacity) {
+    ++drops_queue_full_;
+    return false;
+  }
+  Pending pending;
+  pending.frame.type = type;
+  pending.frame.seq = next_seq_++;
+  pending.frame.payload = std::move(payload);
+  pending.wire = encode(pending.frame);
+  pending.enqueued_at_s = events_->now().value;
+  pending.timeout_s = config_.initial_timeout.value;
+  queue_.push_back(std::move(pending));
+  ++frames_accepted_;
+  pump();
+  return true;
+}
+
+void ArqSender::pump() {
+  if (!wire_sink_) return;
+  const std::size_t active = std::min(config_.window, queue_.size());
+  for (std::size_t i = 0; i < active; ++i) {
+    Pending& pending = queue_[i];
+    if (!pending.needs_tx) continue;
+    if (!wire_sink_(pending.wire)) return;  // transport full; wait for tx space
+    pending.needs_tx = false;
+    ++pending.attempts;
+    ++transmissions_;
+    if (pending.attempts > 1) ++retransmissions_;
+    arm_timer(pending);
+  }
+}
+
+void ArqSender::arm_timer(Pending& pending) {
+  pending.epoch = next_epoch_++;
+  const std::uint8_t seq = pending.frame.seq;
+  const std::uint64_t epoch = pending.epoch;
+  events_->schedule_after(util::Seconds{pending.timeout_s},
+                         [this, seq, epoch] { on_timeout(seq, epoch); });
+}
+
+void ArqSender::on_timeout(std::uint8_t seq, std::uint64_t epoch) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Pending& p) {
+    return p.frame.seq == seq && p.epoch == epoch;
+  });
+  if (it == queue_.end()) return;  // acked (or already dropped): stale timer
+  if (it->attempts >= config_.max_attempts) {
+    ++drops_retry_exhausted_;
+    if (drop_callback_) drop_callback_(seq);
+    queue_.erase(it);
+  } else {
+    it->needs_tx = true;
+    it->timeout_s = std::min(it->timeout_s * config_.backoff_factor, config_.max_timeout.value);
+  }
+  pump();
+}
+
+void ArqSender::on_ack_byte(std::uint8_t byte) {
+  for (auto frame = ack_decoder_.feed(byte); frame; frame = ack_decoder_.poll()) {
+    if (frame->type == FrameType::Ack) handle_ack(frame->seq);
+  }
+}
+
+void ArqSender::handle_ack(std::uint8_t seq) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const Pending& p) { return p.frame.seq == seq; });
+  if (it == queue_.end()) {
+    ++duplicate_acks_;
+    return;
+  }
+  ++acks_received_;
+  if (ack_callback_) {
+    ack_callback_(seq, events_->now().value - it->enqueued_at_s, it->attempts);
+  }
+  queue_.erase(it);
+  pump();  // the window slid: queued frames may now transmit
+}
+
+std::optional<double> ArqSender::enqueue_time_s(std::uint8_t seq) const {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const Pending& p) { return p.frame.seq == seq; });
+  if (it == queue_.end()) return std::nullopt;
+  return it->enqueued_at_s;
+}
+
+std::size_t ArqSender::in_flight() const {
+  return static_cast<std::size_t>(std::count_if(
+      queue_.begin(), queue_.end(), [](const Pending& p) { return p.attempts > 0; }));
+}
+
+// --- receiver ---------------------------------------------------------------
+
+void ArqReceiver::on_byte(std::uint8_t byte) {
+  for (auto frame = decoder_.feed(byte); frame; frame = decoder_.poll()) {
+    on_frame(*frame);
+  }
+}
+
+void ArqReceiver::on_frame(const Frame& frame) {
+  if (frame.type == FrameType::Ack) return;  // not expected on the forward channel
+  // Ack every arrival, duplicates included: the sender retransmitting
+  // means our previous ack may have died on the reverse channel.
+  Frame ack;
+  ack.type = FrameType::Ack;
+  ack.seq = frame.seq;
+  if (ack_sink_ && ack_sink_(encode(ack))) {
+    ++acks_sent_;
+  } else {
+    ++acks_backpressured_;
+  }
+  if (!accept_seq(frame.seq)) {
+    ++duplicates_discarded_;
+    return;
+  }
+  ++frames_delivered_;
+  if (frame_sink_) frame_sink_(frame);
+}
+
+bool ArqReceiver::accept_seq(std::uint8_t seq) {
+  if (!any_received_) {
+    any_received_ = true;
+    highest_seq_ = seq;
+    seen_mask_ = 1;
+    return true;
+  }
+  const auto ahead = static_cast<std::uint8_t>(seq - highest_seq_);
+  if (ahead != 0 && ahead < 128) {
+    // Window advances; shift history along.
+    seen_mask_ = (ahead >= 64) ? 0 : (seen_mask_ << ahead);
+    seen_mask_ |= 1;
+    highest_seq_ = seq;
+    return true;
+  }
+  const auto behind = static_cast<std::uint8_t>(highest_seq_ - seq);
+  if (behind < 64) {
+    const std::uint64_t bit = 1ull << behind;
+    if (seen_mask_ & bit) return false;
+    seen_mask_ |= bit;
+    return true;
+  }
+  return false;  // older than the dedupe horizon: assume duplicate
+}
+
+}  // namespace distscroll::wireless

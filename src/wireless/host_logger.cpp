@@ -3,20 +3,26 @@
 namespace distscroll::wireless {
 
 void HostLogger::on_byte(std::uint8_t byte) {
-  auto frame = decoder_.feed(byte);
-  if (!frame) return;
+  // A resync can complete several buffered frames on one byte: drain.
+  for (auto frame = decoder_.feed(byte); frame; frame = decoder_.poll()) {
+    on_frame(*frame);
+  }
+}
+
+void HostLogger::on_frame(const Frame& frame) {
+  ++frames_logged_;
   if (last_seq_) {
     const std::uint8_t expected = static_cast<std::uint8_t>(*last_seq_ + 1);
-    if (frame->seq != expected) {
+    if (frame.seq != expected) {
       // 8-bit wraparound distance; counts frames missing in between.
-      sequence_gaps_ += static_cast<std::uint8_t>(frame->seq - expected);
+      sequence_gaps_ += static_cast<std::uint8_t>(frame.seq - expected);
     }
   }
-  last_seq_ = frame->seq;
-  if (frame->type == FrameType::State) {
-    last_state_ = StateReport::unpack(frame->payload);
+  last_seq_ = frame.seq;
+  if (frame.type == FrameType::State) {
+    last_state_ = StateReport::unpack(frame.payload);
   }
-  events_.push_back({queue_->now().value, std::move(*frame)});
+  events_.push_back({queue_->now().value, frame});
 }
 
 }  // namespace distscroll::wireless

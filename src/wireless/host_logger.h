@@ -19,8 +19,15 @@ class HostLogger {
  public:
   explicit HostLogger(const sim::EventQueue& queue) : queue_(&queue) {}
 
-  /// Byte sink to hang on RfLink::set_host_sink.
+  /// Byte sink to hang on RfLink::set_host_sink (raw pipeline).
   void on_byte(std::uint8_t byte);
+
+  /// Frame sink to hang on ArqReceiver::set_frame_sink (reliable
+  /// pipeline — framing and dedupe already happened downstairs). Note
+  /// that retransmissions arrive out of order, so sequence_gaps() can
+  /// transiently over-count on this path; ARQ delivery accounting lives
+  /// in LinkStats.
+  void on_frame(const Frame& frame);
 
   struct LoggedEvent {
     double time_s;
@@ -29,15 +36,26 @@ class HostLogger {
 
   [[nodiscard]] const std::vector<LoggedEvent>& events() const { return events_; }
   [[nodiscard]] std::optional<StateReport> last_state() const { return last_state_; }
-  [[nodiscard]] std::uint64_t frames_received() const { return decoder_.frames_decoded(); }
+  /// Frames accepted by the logger (monotone, survives clear()). Equals
+  /// decoder().frames_decoded() on the raw byte path; on the ARQ path
+  /// the decoder is idle and this counts on_frame() deliveries.
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_logged_; }
   [[nodiscard]] std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
 
   /// Sequence-gap count: frames the link dropped between received ones.
   [[nodiscard]] std::uint64_t sequence_gaps() const { return sequence_gaps_; }
 
+  [[nodiscard]] const FrameDecoder& decoder() const { return decoder_; }
+
+  /// Start a new logging session: forgets events, state AND the
+  /// sequence tracking, so the first frame after clear() establishes a
+  /// fresh baseline instead of being counted as a gap against the
+  /// previous session's last sequence number.
   void clear() {
     events_.clear();
     last_state_.reset();
+    last_seq_.reset();
+    sequence_gaps_ = 0;
   }
 
  private:
@@ -47,6 +65,7 @@ class HostLogger {
   std::optional<StateReport> last_state_;
   std::optional<std::uint8_t> last_seq_;
   std::uint64_t sequence_gaps_ = 0;
+  std::uint64_t frames_logged_ = 0;
 };
 
 }  // namespace distscroll::wireless

@@ -1,0 +1,107 @@
+// Link observability: one place that answers "how is the telemetry path
+// doing?" for benches, tests and the study harness.
+//
+// Counters are *sampled* from the components that own them (RfLink,
+// FrameDecoder, the ARQ endpoints, HostLogger) — the hot paths pay
+// nothing for observability beyond the counters they already keep.
+// Latency and retransmit distributions are *recorded* by whoever sees
+// the event (the ARQ ack callback, the bench's delivery probe) and
+// summarised through util::stats percentiles plus a log-bucketed ASCII
+// histogram for the bench output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace distscroll::wireless {
+
+class RfLink;
+class FrameDecoder;
+class ArqSender;
+class ArqReceiver;
+class HostLogger;
+
+/// Log₂-bucketed histogram for delivery latencies: bucket i covers
+/// [0.5 ms · 2^i, 0.5 ms · 2^(i+1)), 16 buckets reaching ~16 s, with
+/// under/overflow folded into the end buckets.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 16;
+  static constexpr double kFirstBucketSeconds = 0.5e-3;
+
+  void record(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  [[nodiscard]] static double bucket_low_s(std::size_t i);
+
+  /// Multi-line "bucket range | bar | count" rendering.
+  [[nodiscard]] std::string render(int bar_width = 40) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+class LinkStats {
+ public:
+  /// Counter snapshot across the pipeline; zeros for absent components.
+  struct Counters {
+    // RfLink
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_lost = 0;
+    std::uint64_t bytes_corrupted = 0;
+    // FrameDecoder (host side)
+    std::uint64_t frames_decoded = 0;
+    std::uint64_t crc_errors = 0;
+    std::uint64_t framing_errors = 0;
+    std::uint64_t resyncs = 0;
+    // ArqSender
+    std::uint64_t arq_accepted = 0;
+    std::uint64_t arq_transmissions = 0;
+    std::uint64_t arq_retransmissions = 0;
+    std::uint64_t arq_acks = 0;
+    std::uint64_t arq_drops_queue_full = 0;
+    std::uint64_t arq_drops_retry_exhausted = 0;
+    // ArqReceiver
+    std::uint64_t delivered = 0;
+    std::uint64_t duplicates_discarded = 0;
+    std::uint64_t acks_sent = 0;
+    // HostLogger
+    std::uint64_t logged_frames = 0;
+    std::uint64_t sequence_gaps = 0;
+  };
+
+  /// Pull current counter values from whichever components exist.
+  void sample(const RfLink* link, const FrameDecoder* decoder, const ArqSender* sender,
+              const ArqReceiver* receiver, const HostLogger* logger);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // --- distributions ---------------------------------------------------
+  void record_delivery_latency(double seconds);
+  void record_attempts(int transmissions);
+
+  [[nodiscard]] std::uint64_t latency_count() const { return latencies_.size(); }
+  /// p in [0, 1]; 0 when nothing was recorded.
+  [[nodiscard]] double latency_percentile(double p) const;
+  [[nodiscard]] util::Summary latency_summary() const { return util::summarize(latencies_); }
+  [[nodiscard]] double mean_attempts() const;
+  [[nodiscard]] double max_attempts() const;
+  [[nodiscard]] const LatencyHistogram& latency_histogram() const { return histogram_; }
+
+  /// Human-readable dump (counters + latency histogram) for benches.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  Counters counters_{};
+  std::vector<double> latencies_;
+  std::vector<double> attempts_;
+  LatencyHistogram histogram_;
+};
+
+}  // namespace distscroll::wireless

@@ -45,48 +45,111 @@ std::vector<std::uint8_t> encode(const Frame& frame) {
 }
 
 std::optional<Frame> FrameDecoder::feed(std::uint8_t byte) {
+  replay_.push_back(byte);
+  // Drain the replay queue through the state machine. An error inside
+  // step() prepends its consumed window here, so rescans happen in
+  // stream order before any newer byte is considered. Each pass through
+  // a failed window permanently consumes at least its leading sync byte,
+  // so the loop terminates.
+  while (!replay_.empty()) {
+    const std::uint8_t b = replay_.front();
+    replay_.pop_front();
+    step(b);
+  }
+  return poll();
+}
+
+std::optional<Frame> FrameDecoder::flush() {
+  // Each pass discards one truncated partial (consuming its sync byte),
+  // so the loop terminates.
+  while (state_ != State::Sync || !replay_.empty()) {
+    if (state_ != State::Sync) {
+      ++framing_errors_;
+      fail_frame();
+    }
+    while (!replay_.empty()) {
+      const std::uint8_t b = replay_.front();
+      replay_.pop_front();
+      step(b);
+    }
+  }
+  return poll();
+}
+
+std::optional<Frame> FrameDecoder::poll() {
+  if (ready_.empty()) return std::nullopt;
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+void FrameDecoder::fail_frame() {
+  // Give every consumed byte after the sync back to the scanner: the
+  // next real frame's sync may be hiding inside the window (e.g. a
+  // bit-flipped LEN swallowed it). The failed frame's own sync byte is
+  // NOT replayed, so progress is guaranteed.
+  ++resyncs_;
+  replay_.insert(replay_.begin(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  state_ = State::Sync;
+}
+
+void FrameDecoder::step(std::uint8_t byte) {
   switch (state_) {
     case State::Sync:
       if (byte == kSyncByte) {
         buffer_.clear();
         state_ = State::Length;
       }
-      return std::nullopt;
+      return;
 
     case State::Length:
       if (byte < 2 || byte > 2 + kMaxPayload) {
         ++framing_errors_;
-        state_ = (byte == kSyncByte) ? State::Length : State::Sync;
-        return std::nullopt;
+        // Rescan the offending byte itself: it may be the sync of a
+        // real frame that this spurious sync captured.
+        state_ = State::Sync;
+        replay_.push_front(byte);
+        return;
       }
       buffer_.push_back(byte);
       expected_len_ = byte;
       state_ = State::Body;
-      return std::nullopt;
+      return;
 
     case State::Body:
       buffer_.push_back(byte);
+      // First body byte is TYPE: reject unknown types immediately so a
+      // corrupted type byte never reaches a consumer as a garbage enum
+      // value, and resync starts LEN bytes sooner.
+      if (buffer_.size() == 2 && !is_known_frame_type(byte)) {
+        ++framing_errors_;
+        fail_frame();
+        return;
+      }
       // buffer_ holds LEN + body-so-far; body completes at LEN bytes,
       // then one CRC byte follows.
-      if (buffer_.size() < 1 + expected_len_ + 1) return std::nullopt;
-      state_ = State::Sync;
+      if (buffer_.size() < 1 + expected_len_ + 1) return;
       {
         const std::uint8_t received_crc = buffer_.back();
         const std::uint8_t computed =
             util::crc8({buffer_.data(), buffer_.size() - 1});
         if (received_crc != computed) {
           ++crc_errors_;
-          return std::nullopt;
+          fail_frame();
+          return;
         }
         Frame frame;
         frame.type = static_cast<FrameType>(buffer_[1]);
         frame.seq = buffer_[2];
         frame.payload.assign(buffer_.begin() + 3, buffer_.end() - 1);
         ++frames_decoded_;
-        return frame;
+        ready_.push_back(std::move(frame));
+        buffer_.clear();
+        state_ = State::Sync;
       }
+      return;
   }
-  return std::nullopt;
 }
 
 }  // namespace distscroll::wireless

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <vector>
@@ -25,7 +26,15 @@ enum class FrameType : std::uint8_t {
   SelectionEvent = 0x03,
   Heartbeat = 0x04,
   Debug = 0x05,
+  Ack = 0x06,        // ARQ acknowledgement; seq field names the acked frame
 };
+
+/// TYPE bytes the decoder accepts: the core protocol above plus the
+/// 0x10..0x1F extension range used by add-on protocols (pda::). Anything
+/// else is treated as a framing error, never delivered as a garbage enum.
+[[nodiscard]] constexpr bool is_known_frame_type(std::uint8_t raw) {
+  return (raw >= 0x01 && raw <= 0x06) || (raw >= 0x10 && raw <= 0x1F);
+}
 
 struct Frame {
   FrameType type = FrameType::Heartbeat;
@@ -51,25 +60,57 @@ struct StateReport {
 [[nodiscard]] std::vector<std::uint8_t> encode(const Frame& frame);
 
 /// Incremental decoder: feed bytes as they arrive, pops complete valid
-/// frames. Resynchronises on CRC or framing errors by scanning for the
-/// next sync byte; corrupted frames are counted, never delivered.
+/// frames.
+///
+/// Resync algorithm: the decoder buffers every byte consumed after a
+/// sync match (LEN TYPE SEQ PAYLOAD CRC). When the frame fails — LEN
+/// outside [2, 2+kMaxPayload], unknown TYPE, or CRC mismatch — the error
+/// is counted and the *entire consumed window* is pushed back through
+/// the state machine, rescanned for the next kSyncByte. A corrupted byte
+/// can therefore never swallow the bytes behind it: a bit-flipped LEN
+/// that captured the following frame's sync gives those bytes back, and
+/// single-byte corruption of a valid stream loses at most the one frame
+/// it landed in (tests/wireless_test.cpp holds this as a property).
+///
+/// Because a rescanned window can complete more than one frame while a
+/// single byte arrives, finished frames queue internally: feed() returns
+/// the first, poll() drains the rest.
 class FrameDecoder {
  public:
-  /// Feed one byte; returns a frame when one completes.
+  /// Feed one byte; returns a frame when one completes. Call poll()
+  /// afterwards to drain any further frames recovered by a resync.
   std::optional<Frame> feed(std::uint8_t byte);
+
+  /// Next decoded-but-undelivered frame, if any.
+  std::optional<Frame> poll();
+
+  /// End-of-stream: a partial frame can never complete now, so discard
+  /// it (counted as a framing error) after rescanning its bytes —
+  /// complete frames wedged behind a truncated one are recovered.
+  /// Returns the first such frame; drain the rest with poll().
+  std::optional<Frame> flush();
 
   [[nodiscard]] std::uint64_t crc_errors() const { return crc_errors_; }
   [[nodiscard]] std::uint64_t framing_errors() const { return framing_errors_; }
   [[nodiscard]] std::uint64_t frames_decoded() const { return frames_decoded_; }
+  /// Error windows rescanned for a sync byte (resync attempts).
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
 
  private:
   enum class State { Sync, Length, Body };
+
+  void step(std::uint8_t byte);
+  void fail_frame();  // push the consumed window back for rescan
+
   State state_ = State::Sync;
-  std::vector<std::uint8_t> buffer_;  // LEN TYPE SEQ PAYLOAD...
+  std::vector<std::uint8_t> buffer_;  // LEN TYPE SEQ PAYLOAD... (after sync)
   std::size_t expected_len_ = 0;
+  std::deque<std::uint8_t> replay_;   // bytes awaiting (re)scan
+  std::deque<Frame> ready_;           // decoded, not yet handed out
   std::uint64_t crc_errors_ = 0;
   std::uint64_t framing_errors_ = 0;
   std::uint64_t frames_decoded_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace distscroll::wireless
