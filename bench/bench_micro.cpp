@@ -19,6 +19,7 @@
 #include "sensors/gp2d120.h"
 #include "hw/scheduler.h"
 #include "sim/event_queue.h"
+#include "study/sweep_runner.h"
 #include "util/crc.h"
 #include "wireless/packet.h"
 
@@ -113,6 +114,81 @@ void BM_EventQueueSchedule(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueSchedule);
+
+/// Heap-calendar hot paths in isolation: push N events (pre-warmed slot
+/// table, no allocation in steady state), then drain them.
+void BM_EventQueue_Schedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::EventQueue queue;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      queue.schedule_after(util::Seconds{static_cast<double>((i * 37) % 101) * 1e-4}, [] {});
+    }
+    state.PauseTiming();
+    queue.run_all();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue_Schedule)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueue_Dispatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::EventQueue queue;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < n; ++i) {
+      queue.schedule_after(util::Seconds{static_cast<double>((i * 37) % 101) * 1e-4}, [] {});
+    }
+    state.ResumeTiming();
+    queue.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue_Dispatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// The O(1) lazy cancel (was an O(n) std::map walk per cancel): cancel
+/// half the calendar, handle-by-handle, then drain the survivors.
+void BM_EventQueue_Cancel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::EventQueue queue;
+  std::vector<sim::EventQueue::Handle> handles(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < n; ++i) {
+      handles[static_cast<std::size_t>(i)] = queue.schedule_after(
+          util::Seconds{static_cast<double>((i * 37) % 101) * 1e-4}, [] {});
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < n; i += 2) queue.cancel(handles[static_cast<std::size_t>(i)]);
+    state.PauseTiming();
+    queue.run_all();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2));
+}
+BENCHMARK(BM_EventQueue_Cancel)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// The parallel sweep engine end to end: index-keyed RNG forking, slot
+/// writeback, one simulated-work cell body. Arg = thread count (on a
+/// single-core host every count measures mostly the pool's overhead).
+void BM_SweepRunner(benchmark::State& state) {
+  study::SweepConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  config.base_seed = 0xBE9C;
+  study::SweepRunner runner(config);
+  constexpr std::size_t kCells = 256;
+  for (auto _ : state) {
+    const auto cells = runner.run<double>(kCells, [](std::size_t, sim::Rng rng) {
+      double acc = 0.0;
+      for (int i = 0; i < 200; ++i) acc += rng.gaussian(0.0, 1.0);
+      return acc;
+    });
+    benchmark::DoNotOptimize(cells.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_DisplayFullRedraw(benchmark::State& state) {
   hw::I2cBus bus;

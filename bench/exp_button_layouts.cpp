@@ -8,12 +8,17 @@
 // command mix (70% select, 25% back, 5% aux), using the per-layout
 // ergonomics model (core/button_layout.h): expected time per action and
 // expected slip rate.
+//
+// Each (glove, layout, user) triple is one SweepRunner cell (RNG forked
+// off the cell index; bit-identical at any thread count), timed into
+// BENCH_exp_button_layouts.json.
 #include <cstdio>
 
 #include "core/button_layout.h"
 #include "human/user_profile.h"
 #include "sim/random.h"
 #include "study/report.h"
+#include "study/sweep_runner.h"
 #include "util/csv.h"
 
 using namespace distscroll;
@@ -23,41 +28,45 @@ using core::Handedness;
 
 namespace {
 
-struct LayoutScore {
-  double mean_action_time = 0.0;
-  double slip_rate = 0.0;
-};
+constexpr std::size_t kUsers = 20;
+constexpr std::size_t kActions = 200;
 
-LayoutScore score_layout(ButtonLayout layout, human::Glove glove, std::uint64_t seed) {
-  sim::Rng rng(seed);
-  constexpr int kUsers = 20;
-  constexpr int kActions = 200;
+const human::Glove kGloves[] = {human::Glove::None, human::Glove::Thick};
+const ButtonLayout kLayouts[] = {ButtonLayout::ThreeButtonRight,
+                                 ButtonLayout::SlidableTwoButton,
+                                 ButtonLayout::SingleLargeButton};
+
+/// One user's action stream under one (glove, layout); merged per
+/// condition below.
+struct CellResult {
   double total_time = 0.0;
   double slips = 0.0;
 
-  for (int user = 0; user < kUsers; ++user) {
-    const Handedness hand = (user < 2) ? Handedness::Left : Handedness::Right;  // ~10% LH
-    const auto profile = human::UserProfile::average().with_glove(glove);
-    sim::Rng user_rng = rng.fork(static_cast<std::uint64_t>(user));
-    for (int i = 0; i < kActions; ++i) {
-      const double roll = user_rng.uniform(0.0, 1.0);
-      const ButtonAction action = roll < 0.70   ? ButtonAction::Select
-                                  : roll < 0.95 ? ButtonAction::Back
-                                                : ButtonAction::Aux;
-      const auto ergo = core::ergonomics(layout, hand, action);
-      double time = profile.button_press_s * ergo.time_multiplier;
-      const double miss_p =
-          std::min(0.8, profile.button_miss_probability * ergo.miss_multiplier);
-      // Slipped presses cost a retry (noticing + pressing again).
-      while (user_rng.bernoulli(miss_p)) {
-        slips += 1.0;
-        time += profile.reaction_time_s + profile.button_press_s * ergo.time_multiplier;
-        if (time > 5.0) break;  // give up pathology guard
-      }
-      total_time += time;
+  friend bool operator==(const CellResult&, const CellResult&) = default;
+};
+
+CellResult run_user(ButtonLayout layout, human::Glove glove, std::size_t user, sim::Rng rng) {
+  const Handedness hand = (user < 2) ? Handedness::Left : Handedness::Right;  // ~10% LH
+  const auto profile = human::UserProfile::average().with_glove(glove);
+  CellResult result;
+  for (std::size_t i = 0; i < kActions; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    const ButtonAction action = roll < 0.70   ? ButtonAction::Select
+                                : roll < 0.95 ? ButtonAction::Back
+                                              : ButtonAction::Aux;
+    const auto ergo = core::ergonomics(layout, hand, action);
+    double time = profile.button_press_s * ergo.time_multiplier;
+    const double miss_p =
+        std::min(0.8, profile.button_miss_probability * ergo.miss_multiplier);
+    // Slipped presses cost a retry (noticing + pressing again).
+    while (rng.bernoulli(miss_p)) {
+      result.slips += 1.0;
+      time += profile.reaction_time_s + profile.button_press_s * ergo.time_multiplier;
+      if (time > 5.0) break;  // give up pathology guard
     }
+    result.total_time += time;
   }
-  return {total_time / (kUsers * kActions), slips / (kUsers * kActions)};
+  return result;
 }
 
 const char* layout_name(ButtonLayout layout) {
@@ -75,27 +84,40 @@ int main() {
   std::printf("=== Button layout study (Section 6 design question) ===\n");
   std::printf("population: 20 users, ~10%% left-handed; 70/25/5 select/back/aux mix\n\n");
 
+  const study::SweepGrid grid({std::size(kGloves), std::size(kLayouts), kUsers});
+  const auto cells = study::timed_sweep<CellResult>(
+      "exp_button_layouts", grid.cells(), 0xB077, [&](std::size_t index, sim::Rng rng) {
+        return run_user(kLayouts[grid.coord(index, 1)], kGloves[grid.coord(index, 0)],
+                        grid.coord(index, 2), rng);
+      });
+  std::printf("\n");
+
   study::Table table({"layout", "hands", "time/action [s]", "slips/action"});
   util::CsvWriter csv("exp_button_layouts.csv",
                       {"layout", "glove", "time_per_action_s", "slips_per_action"});
-  for (const auto glove : {human::Glove::None, human::Glove::Thick}) {
-    for (const auto layout : {ButtonLayout::ThreeButtonRight, ButtonLayout::SlidableTwoButton,
-                              ButtonLayout::SingleLargeButton}) {
-      const auto score = score_layout(layout, glove, 0xB077);
-      const char* hands = glove == human::Glove::None ? "bare" : "thick gloves";
-      table.add_row({layout_name(layout), hands, study::fmt(score.mean_action_time, 3),
-                     study::fmt(score.slip_rate, 3)});
-      csv.row({std::vector<std::string>{layout_name(layout), hands,
-                                        study::fmt(score.mean_action_time, 4),
-                                        study::fmt(score.slip_rate, 4)}});
+  for (std::size_t g = 0; g < std::size(kGloves); ++g) {
+    for (std::size_t l = 0; l < std::size(kLayouts); ++l) {
+      double total_time = 0.0, slips = 0.0;
+      for (std::size_t user = 0; user < kUsers; ++user) {
+        const auto& cell = cells[grid.index({g, l, user})];
+        total_time += cell.total_time;
+        slips += cell.slips;
+      }
+      const double mean_action_time = total_time / (kUsers * kActions);
+      const double slip_rate = slips / (kUsers * kActions);
+      const char* hands = kGloves[g] == human::Glove::None ? "bare" : "thick gloves";
+      table.add_row({layout_name(kLayouts[l]), hands, study::fmt(mean_action_time, 3),
+                     study::fmt(slip_rate, 3)});
+      csv.row({std::vector<std::string>{layout_name(kLayouts[l]), hands,
+                                        study::fmt(mean_action_time, 4),
+                                        study::fmt(slip_rate, 4)}});
     }
   }
   std::printf("%s\n", table.render().c_str());
 
   std::printf("Left-handed users only, bare hands (the prototype's weakness):\n");
   study::Table lh({"layout", "select time x", "select miss x"});
-  for (const auto layout : {ButtonLayout::ThreeButtonRight, ButtonLayout::SlidableTwoButton,
-                            ButtonLayout::SingleLargeButton}) {
+  for (const auto layout : kLayouts) {
     const auto e = core::ergonomics(layout, Handedness::Left, ButtonAction::Select);
     lh.add_row({layout_name(layout), study::fmt(e.time_multiplier, 2),
                 study::fmt(e.miss_multiplier, 2)});

@@ -7,10 +7,16 @@
 // participant whose prior CONFLICTS with the device mapping starts with
 // inverted aim (they reach the wrong way first), un-learning it over
 // trials. The experiment measures both mappings over a mixed population.
+//
+// Each (mapping, participant) pair is one SweepRunner cell (RNG forked
+// off the cell index; bit-identical at any thread count), timed into
+// BENCH_exp_direction_mapping.json.
+#include <algorithm>
 #include <cstdio>
 
 #include "baselines/distance_scroll.h"
 #include "study/report.h"
+#include "study/sweep_runner.h"
 #include "study/task.h"
 #include "study/trial.h"
 #include "util/csv.h"
@@ -18,6 +24,9 @@
 using namespace distscroll;
 
 namespace {
+
+constexpr std::size_t kUsers = 10;
+constexpr std::size_t kTrialsPerUser = 12;
 
 /// Wraps DistanceScroll: a participant with a conflicting mental model
 /// initially aims at the mirrored entry; the confusion probability
@@ -54,51 +63,45 @@ class ConflictedAim final : public baselines::ScrollTechnique {
   sim::Rng rng_;
 };
 
-struct PopulationResult {
-  double mean_time = 0.0;
+/// One participant's trials under one mapping; merged per mapping below.
+struct CellResult {
+  double time_sum = 0.0;
+  int time_count = 0;
   double errors = 0.0;
   double first_trial_time = 0.0;
+
+  friend bool operator==(const CellResult&, const CellResult&) = default;
 };
 
-PopulationResult run_population(core::ScrollDirection direction, std::uint64_t seed) {
+CellResult run_user(core::ScrollDirection direction, std::size_t user, sim::Rng rng) {
   // 70% of users expect toward-user = down; 30% the opposite.
-  constexpr int kUsers = 10;
-  constexpr int kTrialsPerUser = 12;
-  PopulationResult result;
-  int time_count = 0;
-  sim::Rng rng(seed);
-  double first_total = 0.0;
+  const bool expects_down = user < 7;
+  const bool conflicted =
+      (direction == core::ScrollDirection::TowardUserScrollsDown) ? !expects_down : expects_down;
 
-  for (int user = 0; user < kUsers; ++user) {
-    const bool expects_down = user < 7;
-    const bool conflicted =
-        (direction == core::ScrollDirection::TowardUserScrollsDown) ? !expects_down : expects_down;
+  baselines::DistanceScroll::Config config;
+  config.scroll.direction = direction;
+  baselines::DistanceScroll inner(config, rng.fork(1));
+  ConflictedAim technique(inner, conflicted ? 0.8 : 0.05, rng.fork(2));
 
-    baselines::DistanceScroll::Config config;
-    config.scroll.direction = direction;
-    sim::Rng user_rng = rng.fork(static_cast<std::uint64_t>(user));
-    baselines::DistanceScroll inner(config, user_rng.fork(1));
-    ConflictedAim technique(inner, conflicted ? 0.8 : 0.05, user_rng.fork(2));
-
-    sim::Rng task_rng = user_rng.fork(3);
-    const auto tasks = study::random_tasks(task_rng, 10, kTrialsPerUser);
-    const auto profile = human::UserProfile::average();
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const auto record =
-          study::run_trial(technique, tasks[i], profile, user_rng.fork(100 + i));
-      if (record.outcome.success) {
-        result.mean_time += record.outcome.time_s;
-        ++time_count;
-      }
-      if (i == 0) first_total += record.outcome.time_s;
-      result.errors += record.outcome.wrong_selections;
+  sim::Rng task_rng = rng.fork(3);
+  const auto tasks = study::random_tasks(task_rng, 10, kTrialsPerUser);
+  const auto profile = human::UserProfile::average();
+  CellResult result;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto record = study::run_trial(technique, tasks[i], profile, rng.fork(100 + i));
+    if (record.outcome.success) {
+      result.time_sum += record.outcome.time_s;
+      ++result.time_count;
     }
+    if (i == 0) result.first_trial_time = record.outcome.time_s;
+    result.errors += record.outcome.wrong_selections;
   }
-  result.mean_time /= std::max(1, time_count);
-  result.errors /= kUsers * kTrialsPerUser;
-  result.first_trial_time = first_total / kUsers;
   return result;
 }
+
+const core::ScrollDirection kMappings[] = {core::ScrollDirection::TowardUserScrollsDown,
+                                           core::ScrollDirection::TowardUserScrollsUp};
 
 }  // namespace
 
@@ -107,20 +110,37 @@ int main() {
   std::printf("population: 70%% expect toward-user = down, 30%% the opposite;\n");
   std::printf("conflicted users initially reach the wrong way, adapting over trials.\n\n");
 
+  const study::SweepGrid grid({std::size(kMappings), kUsers});
+  const auto cells = study::timed_sweep<CellResult>(
+      "exp_direction_mapping", grid.cells(), 0xD1CE, [&](std::size_t index, sim::Rng rng) {
+        return run_user(kMappings[grid.coord(index, 0)], grid.coord(index, 1), rng);
+      });
+  std::printf("\n");
+
   study::Table table({"device mapping", "mean time[s]", "err/trial", "first-trial time[s]"});
   util::CsvWriter csv("exp_direction_mapping.csv",
                       {"mapping", "mean_time_s", "errors_per_trial", "first_trial_time_s"});
-  for (const auto direction : {core::ScrollDirection::TowardUserScrollsDown,
-                               core::ScrollDirection::TowardUserScrollsUp}) {
-    const char* name = direction == core::ScrollDirection::TowardUserScrollsDown
+  for (std::size_t m = 0; m < std::size(kMappings); ++m) {
+    const char* name = kMappings[m] == core::ScrollDirection::TowardUserScrollsDown
                            ? "toward-user = DOWN"
                            : "toward-user = UP";
-    const auto result = run_population(direction, 0xD1CE);
-    table.add_row({name, study::fmt(result.mean_time, 2), study::fmt(result.errors, 3),
-                   study::fmt(result.first_trial_time, 2)});
-    csv.row({std::vector<std::string>{name, study::fmt(result.mean_time, 3),
-                                      study::fmt(result.errors, 3),
-                                      study::fmt(result.first_trial_time, 3)}});
+    double time_sum = 0.0, errors = 0.0, first_total = 0.0;
+    int time_count = 0;
+    for (std::size_t user = 0; user < kUsers; ++user) {
+      const auto& cell = cells[grid.index({m, user})];
+      time_sum += cell.time_sum;
+      time_count += cell.time_count;
+      errors += cell.errors;
+      first_total += cell.first_trial_time;
+    }
+    const double mean_time = time_sum / std::max(1, time_count);
+    const double err_per_trial = errors / (kUsers * kTrialsPerUser);
+    const double first_trial = first_total / kUsers;
+    table.add_row({name, study::fmt(mean_time, 2), study::fmt(err_per_trial, 3),
+                   study::fmt(first_trial, 2)});
+    csv.row({std::vector<std::string>{name, study::fmt(mean_time, 3),
+                                      study::fmt(err_per_trial, 3),
+                                      study::fmt(first_trial, 3)}});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("expected shape: the majority-compatible mapping (toward-user =\n"

@@ -8,6 +8,11 @@
 // technique "obeys Fitts' law" when the regression is linear with high
 // R² — the paper's open question Q1 then reduces to comparing slopes
 // (bits per second).
+//
+// The (technique x distance) grid runs as SweepRunner cells (RNG forked
+// off the cell index; bit-identical at any thread count), timed into
+// BENCH_exp_fitts_law.json.
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -17,6 +22,7 @@
 #include "baselines/tilt_scroll.h"
 #include "baselines/wheel_scroll.h"
 #include "study/report.h"
+#include "study/sweep_runner.h"
 #include "study/task.h"
 #include "study/trial.h"
 #include "util/csv.h"
@@ -26,7 +32,11 @@ using namespace distscroll;
 
 namespace {
 
-std::unique_ptr<baselines::ScrollTechnique> make_technique(int which, sim::Rng rng) {
+constexpr std::size_t kList = 40;
+const std::size_t kDistances[] = {1, 2, 4, 8, 16};
+constexpr std::size_t kTrials = 25;
+
+std::unique_ptr<baselines::ScrollTechnique> make_technique(std::size_t which, sim::Rng rng) {
   switch (which) {
     case 0: return std::make_unique<baselines::DistanceScroll>(baselines::DistanceScroll::Config{}, rng);
     case 1: return std::make_unique<baselines::TiltScroll>(baselines::TiltScroll::Config{}, rng);
@@ -36,53 +46,71 @@ std::unique_ptr<baselines::ScrollTechnique> make_technique(int which, sim::Rng r
   }
 }
 
+struct CellResult {
+  double id_bits = 0.0;
+  double mean_time_s = 0.0;
+
+  friend bool operator==(const CellResult&, const CellResult&) = default;
+};
+
+CellResult run_cell(std::size_t which, std::size_t distance, sim::Rng rng) {
+  auto technique = make_technique(which, rng.fork(1));
+  sim::Rng task_rng = rng.fork(2);
+  // Identical TARGET distribution for every distance: targets come
+  // from the band [16, 23], which admits start = target +- d for
+  // every swept d. Without this, conditions would differ in how
+  // often they hit far-end islands (narrow in ADC counts, noisier)
+  // or edge islands (artificially easy) — confounding the sweep.
+  std::vector<study::SelectionTask> tasks;
+  while (tasks.size() < kTrials) {
+    const auto target = static_cast<std::size_t>(task_rng.uniform_int(16, 23));
+    const bool down = task_rng.bernoulli(0.5);
+    study::SelectionTask task;
+    task.level_size = kList;
+    task.target_index = target;
+    task.start_index = down ? target - distance : target + distance;
+    tasks.push_back(task);
+  }
+  const auto records =
+      study::run_trials(*technique, tasks, human::UserProfile::average(), rng.fork(3));
+  const auto agg = study::aggregate(records);
+  CellResult cell;
+  cell.id_bits = std::log2(static_cast<double>(distance) + 1.0);
+  cell.mean_time_s = agg.mean_time_s;
+  return cell;
+}
+
 }  // namespace
 
 int main() {
-  constexpr std::size_t kList = 40;
-  const std::size_t distances[] = {1, 2, 4, 8, 16};
-  constexpr std::size_t kTrials = 25;
-
   std::printf("=== Does Fitts' law hold for each scrolling technique? ===\n");
   std::printf("(40-entry list, |target-start| swept, MT regressed on ID=log2(A+1))\n\n");
+
+  const study::SweepGrid grid({5, std::size(kDistances)});
+  const auto cells = study::timed_sweep<CellResult>(
+      "exp_fitts_law", grid.cells(), 0xF1775, [&](std::size_t index, sim::Rng rng) {
+        return run_cell(grid.coord(index, 0), kDistances[grid.coord(index, 1)], rng);
+      });
+  std::printf("\n");
 
   study::Table table({"technique", "a [s]", "b [s/bit]", "R^2", "TP=1/b [bit/s]"});
   util::CsvWriter csv("exp_fitts_law.csv",
                       {"technique", "distance", "id_bits", "mean_time_s"});
 
-  for (int which = 0; which < 5; ++which) {
-    sim::Rng rng(0xF1775 + static_cast<std::uint64_t>(which));
-    auto technique = make_technique(which, rng.fork(1));
+  for (std::size_t which = 0; which < 5; ++which) {
+    const std::string name = make_technique(which, sim::Rng(0))->name();
     std::vector<double> ids, times;
-    for (const std::size_t distance : distances) {
-      sim::Rng task_rng = rng.fork(10 + distance);
-      // Identical TARGET distribution for every distance: targets come
-      // from the band [16, 23], which admits start = target +- d for
-      // every swept d. Without this, conditions would differ in how
-      // often they hit far-end islands (narrow in ADC counts, noisier)
-      // or edge islands (artificially easy) — confounding the sweep.
-      std::vector<study::SelectionTask> tasks;
-      while (tasks.size() < kTrials) {
-        const auto target = static_cast<std::size_t>(task_rng.uniform_int(16, 23));
-        const bool down = task_rng.bernoulli(0.5);
-        study::SelectionTask task;
-        task.level_size = kList;
-        task.target_index = target;
-        task.start_index = down ? target - distance : target + distance;
-        tasks.push_back(task);
-      }
-      const auto records = study::run_trials(*technique, tasks,
-                                             human::UserProfile::average(), rng.fork(50 + distance));
-      const auto agg = study::aggregate(records);
-      if (agg.mean_time_s <= 0.0) continue;
-      const double id = std::log2(static_cast<double>(distance) + 1.0);
-      ids.push_back(id);
-      times.push_back(agg.mean_time_s);
-      csv.row({std::vector<std::string>{technique->name(), std::to_string(distance),
-                                        study::fmt(id, 3), study::fmt(agg.mean_time_s, 3)}});
+    for (std::size_t d = 0; d < std::size(kDistances); ++d) {
+      const auto& cell = cells[grid.index({which, d})];
+      if (cell.mean_time_s <= 0.0) continue;
+      ids.push_back(cell.id_bits);
+      times.push_back(cell.mean_time_s);
+      csv.row({std::vector<std::string>{name, std::to_string(kDistances[d]),
+                                        study::fmt(cell.id_bits, 3),
+                                        study::fmt(cell.mean_time_s, 3)}});
     }
     const auto fit = util::fit_linear(ids, times);
-    table.add_row({technique->name(), study::fmt(fit.intercept, 2), study::fmt(fit.slope, 3),
+    table.add_row({name, study::fmt(fit.intercept, 2), study::fmt(fit.slope, 3),
                    study::fmt(fit.r_squared, 3),
                    fit.slope > 1e-6 ? study::fmt(1.0 / fit.slope, 2) : "inf"});
   }

@@ -10,11 +10,16 @@
 //                absolute acquisition over <=10 islands;
 //  * speedzoom — coarse acquisition over 10 bucket-islands, dwell to
 //                zoom in, fine acquisition over <=10 islands.
+//
+// The (menu x strategy) grid runs as SweepRunner cells (RNG forked off
+// the cell index; bit-identical at any thread count), timed into
+// BENCH_exp_long_menus.json.
 #include <cstdio>
 
 #include "baselines/distance_scroll.h"
 #include "human/motion_planner.h"
 #include "study/report.h"
+#include "study/sweep_runner.h"
 #include "study/task.h"
 #include "study/trial.h"
 #include "util/csv.h"
@@ -23,10 +28,14 @@ using namespace distscroll;
 
 namespace {
 
+const std::size_t kMenus[] = {20, 50, 100, 200};
+
 struct StrategyResult {
   double mean_time = 0.0;
   double success_rate = 0.0;
   double errors_per_trial = 0.0;
+
+  friend bool operator==(const StrategyResult&, const StrategyResult&) = default;
 };
 
 StrategyResult summarize(const std::vector<study::TrialRecord>& records) {
@@ -34,8 +43,7 @@ StrategyResult summarize(const std::vector<study::TrialRecord>& records) {
   return {agg.mean_time_s, agg.success_rate, agg.error_rate};
 }
 
-StrategyResult run_plain(std::size_t menu, std::uint64_t seed) {
-  sim::Rng rng(seed);
+StrategyResult run_plain(std::size_t menu, sim::Rng rng) {
   baselines::DistanceScroll technique({}, rng.fork(1));
   sim::Rng task_rng = rng.fork(2);
   const auto tasks = study::random_tasks(task_rng, menu, 25);
@@ -43,8 +51,7 @@ StrategyResult run_plain(std::size_t menu, std::uint64_t seed) {
                                      rng.fork(3)));
 }
 
-StrategyResult run_chunked(std::size_t menu, std::size_t chunk_size, std::uint64_t seed) {
-  sim::Rng rng(seed);
+StrategyResult run_chunked(std::size_t menu, std::size_t chunk_size, sim::Rng rng) {
   baselines::DistanceScroll technique({}, rng.fork(1));
   const auto profile = human::UserProfile::average();
   sim::Rng task_rng = rng.fork(2);
@@ -80,8 +87,7 @@ StrategyResult run_chunked(std::size_t menu, std::size_t chunk_size, std::uint64
   return summarize(records);
 }
 
-StrategyResult run_speedzoom(std::size_t menu, std::size_t islands, std::uint64_t seed) {
-  sim::Rng rng(seed);
+StrategyResult run_speedzoom(std::size_t menu, std::size_t islands, sim::Rng rng) {
   baselines::DistanceScroll technique({}, rng.fork(1));
   const auto profile = human::UserProfile::average();
   sim::Rng task_rng = rng.fork(2);
@@ -123,41 +129,56 @@ StrategyResult run_speedzoom(std::size_t menu, std::size_t islands, std::uint64_
   return summarize(records);
 }
 
+StrategyResult run_strategy(std::size_t menu, std::size_t strategy, sim::Rng rng) {
+  switch (strategy) {
+    case 0: return run_plain(menu, rng);
+    case 1: return run_chunked(menu, 10, rng);
+    default: return run_speedzoom(menu, 10, rng);
+  }
+}
+
+const char* kStrategyNames[] = {"plain", "chunked-10", "speedzoom-10"};
+
 }  // namespace
 
 int main() {
   std::printf("=== Q4: long menus — plain vs chunks-of-10 vs speed zoom ===\n\n");
+
+  const study::SweepGrid grid({std::size(kMenus), std::size(kStrategyNames)});
+  const auto cells = study::timed_sweep<StrategyResult>(
+      "exp_long_menus", grid.cells(), 0x10C5, [&](std::size_t index, sim::Rng rng) {
+        return run_strategy(kMenus[grid.coord(index, 0)], grid.coord(index, 1), rng);
+      });
+  std::printf("\n");
+
   study::Table table({"menu", "strategy", "time[s]", "success", "err/trial"});
   util::CsvWriter csv("exp_long_menus.csv",
                       {"menu_size", "strategy", "mean_time_s", "success_rate",
                        "errors_per_trial"});
-  for (const std::size_t menu : {20u, 50u, 100u, 200u}) {
-    struct Row {
-      const char* name;
-      StrategyResult result;
-    };
-    const Row rows[] = {
-        {"plain", run_plain(menu, 0x1000 + menu)},
-        {"chunked-10", run_chunked(menu, 10, 0x2000 + menu)},
-        {"speedzoom-10", run_speedzoom(menu, 10, 0x3000 + menu)},
-    };
-    for (const auto& row : rows) {
-      table.add_row({std::to_string(menu), row.name, study::fmt(row.result.mean_time, 2),
-                     study::fmt(row.result.success_rate, 2),
-                     study::fmt(row.result.errors_per_trial, 2)});
-      csv.row({std::vector<std::string>{std::to_string(menu), row.name,
-                                        study::fmt(row.result.mean_time, 3),
-                                        study::fmt(row.result.success_rate, 3),
-                                        study::fmt(row.result.errors_per_trial, 3)}});
+  for (std::size_t m = 0; m < std::size(kMenus); ++m) {
+    for (std::size_t s = 0; s < std::size(kStrategyNames); ++s) {
+      const auto& result = cells[grid.index({m, s})];
+      table.add_row({std::to_string(kMenus[m]), kStrategyNames[s],
+                     study::fmt(result.mean_time, 2), study::fmt(result.success_rate, 2),
+                     study::fmt(result.errors_per_trial, 2)});
+      csv.row({std::vector<std::string>{std::to_string(kMenus[m]), kStrategyNames[s],
+                                        study::fmt(result.mean_time, 3),
+                                        study::fmt(result.success_rate, 3),
+                                        study::fmt(result.errors_per_trial, 3)}});
     }
   }
   std::printf("%s\n", table.render().c_str());
 
   std::printf("=== Ablation: chunk size on a 100-entry menu ===\n\n");
+  const std::size_t kChunks[] = {5, 10, 20};
+  study::SweepRunner runner({0, 1, 0x4000});
+  const auto ablation_cells = runner.run<StrategyResult>(
+      std::size(kChunks),
+      [&](std::size_t index, sim::Rng rng) { return run_chunked(100, kChunks[index], rng); });
   study::Table ablation({"chunk size", "time[s]", "success", "err/trial"});
-  for (const std::size_t chunk : {5u, 10u, 20u}) {
-    const auto result = run_chunked(100, chunk, 0x4000 + chunk);
-    ablation.add_row({std::to_string(chunk), study::fmt(result.mean_time, 2),
+  for (std::size_t c = 0; c < std::size(kChunks); ++c) {
+    const auto& result = ablation_cells[c];
+    ablation.add_row({std::to_string(kChunks[c]), study::fmt(result.mean_time, 2),
                       study::fmt(result.success_rate, 2),
                       study::fmt(result.errors_per_trial, 2)});
   }

@@ -5,10 +5,14 @@
 // motor precision; ranges pushed past ~30 cm run into the sensor's
 // resolution floor (the curve flattens, islands collapse to a few ADC
 // counts) and past comfortable arm extension.
+//
+// Each range is one SweepRunner cell (RNG forked off the cell index;
+// bit-identical at any thread count), timed into BENCH_exp_range_sweep.json.
 #include <cstdio>
 
 #include "baselines/distance_scroll.h"
 #include "study/report.h"
+#include "study/sweep_runner.h"
 #include "study/task.h"
 #include "study/trial.h"
 #include "util/csv.h"
@@ -17,11 +21,24 @@ using namespace distscroll;
 
 namespace {
 
-study::Aggregate run_range(double near_cm, double far_cm, std::uint64_t seed) {
+struct Range {
+  double near, far;
+  const char* note;
+};
+
+const Range kRanges[] = {
+    {4.0, 12.0, "very short throw"},
+    {4.0, 20.0, "short throw"},
+    {4.0, 30.0, "the paper's range"},
+    {4.0, 40.0, "extended (sensor flattens)"},
+    {8.0, 30.0, "late start"},
+    {10.0, 50.0, "far shifted (resolution floor)"},
+};
+
+study::Aggregate run_range(double near_cm, double far_cm, sim::Rng rng) {
   baselines::DistanceScroll::Config config;
   config.islands.near = util::Centimeters{near_cm};
   config.islands.far = util::Centimeters{far_cm};
-  sim::Rng rng(seed);
   baselines::DistanceScroll technique(config, rng.fork(1));
   sim::Rng task_rng = rng.fork(2);
   const auto tasks = study::random_tasks(task_rng, 10, 30);
@@ -33,28 +50,20 @@ study::Aggregate run_range(double near_cm, double far_cm, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  struct Range {
-    double near, far;
-    const char* note;
-  };
-  const Range ranges[] = {
-      {4.0, 12.0, "very short throw"},
-      {4.0, 20.0, "short throw"},
-      {4.0, 30.0, "the paper's range"},
-      {4.0, 40.0, "extended (sensor flattens)"},
-      {8.0, 30.0, "late start"},
-      {10.0, 50.0, "far shifted (resolution floor)"},
-  };
-
   std::printf("=== Q2: is 4..30 cm appropriate? (10-entry menu, 30 trials each) ===\n\n");
+  const auto cells = study::timed_sweep<study::Aggregate>(
+      "exp_range_sweep", std::size(kRanges), 0xBEEF, [&](std::size_t index, sim::Rng rng) {
+        return run_range(kRanges[index].near, kRanges[index].far, rng);
+      });
+  std::printf("\n");
+
   study::Table table({"range[cm]", "note", "time[s]", "success", "err/trial", "corrections"});
   util::CsvWriter csv("exp_range_sweep.csv",
                       {"near_cm", "far_cm", "mean_time_s", "success_rate", "errors_per_trial",
                        "mean_corrections"});
-  for (const auto& range : ranges) {
-    const auto agg = run_range(range.near, range.far,
-                               0xBEEF ^ static_cast<std::uint64_t>(range.near * 10) ^
-                                   (static_cast<std::uint64_t>(range.far) << 8));
+  for (std::size_t i = 0; i < std::size(kRanges); ++i) {
+    const auto& range = kRanges[i];
+    const auto& agg = cells[i];
     char label[32];
     std::snprintf(label, sizeof(label), "%.0f..%.0f", range.near, range.far);
     table.add_row({label, range.note, study::fmt(agg.mean_time_s, 2),

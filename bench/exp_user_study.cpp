@@ -6,69 +6,102 @@
 // technical background"), let them discover the operation unaided, then
 // run blocks of menu-selection trials on the fictive phone menu.
 //
+// Each participant is one SweepRunner cell (RNG forked off the cell
+// index), so the pool runs in parallel with bit-identical results to
+// the sequential pass; the harness records BENCH_exp_user_study.json.
+//
 // Claims to reproduce:
 //  * "the manner of operation was promptly discovered" — discovery in
 //    seconds, not minutes;
 //  * "Shortly after knowing the relation between menu entry selection
 //    and distance, all users were able to nearly errorless use the
 //    device" — error rate near zero after the first block(s).
+#include <algorithm>
+#include <array>
 #include <cstdio>
 
 #include "menu/phone_menu.h"
 #include "study/device_study.h"
 #include "study/report.h"
+#include "study/sweep_runner.h"
 #include "util/csv.h"
 
 using namespace distscroll;
 
-int main() {
-  auto menu_root = menu::make_phone_menu();
+namespace {
 
+constexpr std::size_t kBlocks = 4;
+
+struct Participant {
+  const char* name;
+  double expertise;
+  human::Glove glove;
+};
+
+// Mixed pool: technical colleagues, students, non-technical users;
+// two of them gloved (the motivating scenario).
+const Participant kPool[] = {
+    {"colleague-1", 0.55, human::Glove::None}, {"colleague-2", 0.50, human::Glove::None},
+    {"student-1", 0.35, human::Glove::None},   {"student-2", 0.30, human::Glove::None},
+    {"student-3", 0.40, human::Glove::None},   {"nontech-1", 0.15, human::Glove::None},
+    {"nontech-2", 0.10, human::Glove::None},   {"gloved-1", 0.30, human::Glove::Thick},
+    {"gloved-2", 0.20, human::Glove::Thick},
+};
+
+/// One participant's full session, sized for byte-exact comparison.
+struct CellResult {
+  double discovery_s = 0.0;
+  std::array<study::DeviceBlockResult, kBlocks> blocks{};
+
+  friend bool operator==(const CellResult&, const CellResult&) = default;
+};
+
+}  // namespace
+
+int main() {
   study::DeviceStudyConfig config;
-  config.blocks = 4;
+  config.blocks = kBlocks;
   config.trials_per_block = 10;
 
-  struct Participant {
-    const char* name;
-    double expertise;
-    human::Glove glove;
-  };
-  // Mixed pool: technical colleagues, students, non-technical users;
-  // two of them gloved (the motivating scenario).
-  const Participant pool[] = {
-      {"colleague-1", 0.55, human::Glove::None}, {"colleague-2", 0.50, human::Glove::None},
-      {"student-1", 0.35, human::Glove::None},   {"student-2", 0.30, human::Glove::None},
-      {"student-3", 0.40, human::Glove::None},   {"nontech-1", 0.15, human::Glove::None},
-      {"nontech-2", 0.10, human::Glove::None},   {"gloved-1", 0.30, human::Glove::Thick},
-      {"gloved-2", 0.20, human::Glove::Thick},
-  };
-
   std::printf("=== Initial user study on the full simulated device (Section 6) ===\n\n");
+  const auto cells = study::timed_sweep<CellResult>(
+      "exp_user_study", std::size(kPool), 1000, [&](std::size_t index, sim::Rng rng) {
+        // Each cell builds its own menu tree: nothing is shared between
+        // concurrently simulated participants.
+        const auto menu_root = menu::make_phone_menu();
+        const auto& p = kPool[index];
+        human::UserProfile profile =
+            human::UserProfile{}.with_expertise(p.expertise).with_glove(p.glove);
+        profile.name = p.name;
+        const auto result = study::run_device_participant(*menu_root, profile, config, rng);
+        CellResult cell;
+        cell.discovery_s = result.discovery_time_s;
+        std::copy_n(result.blocks.begin(),
+                    std::min(result.blocks.size(), cell.blocks.size()), cell.blocks.begin());
+        return cell;
+      });
+  std::printf("\n");
+
   study::Table per_user({"participant", "discovery[s]", "blk0 err/trial", "blk3 err/trial",
                          "blk0 success", "blk3 success", "blk3 time[s]"});
   util::CsvWriter csv("exp_user_study.csv",
                       {"participant", "block", "expertise", "success_rate", "errors_per_trial",
                        "mean_time_s", "discovery_s"});
 
-  std::vector<double> block_err[4], block_succ[4];
-  std::size_t id = 0;
-  for (const auto& p : pool) {
-    human::UserProfile profile =
-        human::UserProfile{}.with_expertise(p.expertise).with_glove(p.glove);
-    profile.name = p.name;
-    const auto result =
-        study::run_device_participant(*menu_root, profile, config, sim::Rng(1000 + id));
-    ++id;
+  std::vector<double> block_err[kBlocks], block_succ[kBlocks];
+  for (std::size_t id = 0; id < std::size(kPool); ++id) {
+    const auto& p = kPool[id];
+    const auto& result = cells[id];
     for (const auto& block : result.blocks) {
       csv.row({std::vector<std::string>{
           p.name, std::to_string(block.block), study::fmt(block.expertise, 2),
           study::fmt(block.success_rate, 3), study::fmt(block.errors_per_trial, 3),
-          study::fmt(block.mean_time_s, 2), study::fmt(result.discovery_time_s, 1)}});
+          study::fmt(block.mean_time_s, 2), study::fmt(result.discovery_s, 1)}});
       block_err[block.block].push_back(block.errors_per_trial);
       block_succ[block.block].push_back(block.success_rate);
     }
     per_user.add_row(
-        {p.name, study::fmt(result.discovery_time_s, 1),
+        {p.name, study::fmt(result.discovery_s, 1),
          study::fmt(result.blocks.front().errors_per_trial, 2),
          study::fmt(result.blocks.back().errors_per_trial, 2),
          study::fmt(result.blocks.front().success_rate, 2),
@@ -79,7 +112,7 @@ int main() {
 
   std::printf("Learning curve across the pool (mean over participants):\n");
   study::Table curve({"block", "errors/trial", "success rate"});
-  for (int b = 0; b < 4; ++b) {
+  for (std::size_t b = 0; b < kBlocks; ++b) {
     double err = 0, succ = 0;
     for (double e : block_err[b]) err += e;
     for (double s : block_succ[b]) succ += s;

@@ -23,6 +23,8 @@ struct AcquisitionOutcome {
   int overshoots = 0;            // cursor crossed the target and came back
   int wrong_selections = 0;      // select pressed while off target
   double id_bits = 0.0;          // scrolling ID: log2(|start-target| + 1)
+
+  friend bool operator==(const AcquisitionOutcome&, const AcquisitionOutcome&) = default;
 };
 
 class MotionPlanner {

@@ -30,8 +30,12 @@ class Potentiometer {
   }
 
   /// Contrast level 0..63 as the firmware derives it from the ADC read.
+  /// Rounded to nearest so endstop positions survive wiper noise (a
+  /// truncating read at position 1.0 reported 62 whenever the noise
+  /// draw came out negative).
   [[nodiscard]] std::uint8_t as_contrast_level() {
-    return static_cast<std::uint8_t>(std::clamp(output().value / config_.vcc * 63.0, 0.0, 63.0));
+    const double level = output().value / config_.vcc * 63.0;
+    return static_cast<std::uint8_t>(std::clamp(level + 0.5, 0.0, 63.0));
   }
 
  private:

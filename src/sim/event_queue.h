@@ -1,15 +1,23 @@
 // Discrete-event scheduler.
 //
-// A classic calendar queue: callbacks scheduled at absolute simulated
+// A binary-heap calendar: callbacks scheduled at absolute simulated
 // times, dispatched in (time, insertion-order) order so same-time events
 // are deterministic. Handles support cancellation (e.g. a button release
 // cancelling a pending auto-repeat).
+//
+// Storage is two flat vectors — the (time, seq) min-heap and a recycled
+// slot table holding the callbacks — so steady-state scheduling does no
+// per-event node allocation (unlike the std::map calendar this replaced).
+// cancel() is O(1): it bumps the slot's generation and the stale heap
+// entry is discarded lazily when it reaches the top (the same
+// epoch-tagged trick the wireless/arq retransmit timers use).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <utility>
+#include <vector>
 
 #include "sim/clock.h"
 #include "util/units.h"
@@ -29,9 +37,11 @@ class EventQueue {
   /// past clamps to now (the event fires next).
   Handle schedule_at(util::Seconds when, Callback cb) {
     if (when < clock_.now()) when = clock_.now();
-    const Handle h = next_handle_++;
-    events_.emplace(Key{when.value, seq_++}, Entry{h, std::move(cb)});
-    return h;
+    const std::uint32_t slot = acquire_slot(std::move(cb));
+    heap_.push_back(HeapEntry{when.value, seq_++, slot, slots_[slot].generation});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    return make_handle(slot, slots_[slot].generation);
   }
 
   Handle schedule_after(util::Seconds delay, Callback cb) {
@@ -39,27 +49,29 @@ class EventQueue {
   }
 
   /// Cancel a pending event; returns false if it already ran or was
-  /// cancelled. O(n) — cancellation is rare in our workloads.
+  /// cancelled. O(1): the heap entry goes stale and is skipped lazily.
   bool cancel(Handle h) {
-    for (auto it = events_.begin(); it != events_.end(); ++it) {
-      if (it->second.handle == h) {
-        events_.erase(it);
-        return true;
-      }
-    }
-    return false;
+    const std::uint32_t slot = handle_slot(h);
+    if (slot >= slots_.size() || slots_[slot].generation != handle_generation(h)) return false;
+    release_slot(slot);
+    --live_;
+    return true;
   }
 
-  [[nodiscard]] bool empty() const { return events_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Dispatch the next event; returns false when the queue is empty.
   bool step() {
-    if (events_.empty()) return false;
-    auto it = events_.begin();
-    clock_.advance_to(util::Seconds{it->first.time});
-    Callback cb = std::move(it->second.callback);
-    events_.erase(it);
+    prune();
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    clock_.advance_to(util::Seconds{top.time});
+    Callback cb = std::move(slots_[top.slot].callback);
+    release_slot(top.slot);
+    --live_;
     cb();
     return true;
   }
@@ -68,7 +80,9 @@ class EventQueue {
   /// Returns the number of events dispatched.
   std::size_t run_until(util::Seconds until) {
     std::size_t dispatched = 0;
-    while (!events_.empty() && events_.begin()->first.time <= until.value) {
+    for (;;) {
+      prune();
+      if (heap_.empty() || heap_.front().time > until.value) break;
       step();
       ++dispatched;
     }
@@ -77,31 +91,84 @@ class EventQueue {
     return dispatched;
   }
 
-  /// Run to exhaustion with a safety cap.
+  /// Run to exhaustion with a safety cap. Hitting the cap with work
+  /// still pending is surfaced via truncated() — a runaway sim must not
+  /// masquerade as a clean finish.
   std::size_t run_all(std::size_t max_events = 10'000'000) {
+    truncated_ = false;
     std::size_t dispatched = 0;
     while (dispatched < max_events && step()) ++dispatched;
+    truncated_ = !empty();
     return dispatched;
   }
 
+  /// True when the last run_all() stopped at its event cap with events
+  /// still pending (i.e. the simulation did not actually finish).
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
  private:
-  struct Key {
+  struct HeapEntry {
     double time;
-    std::uint64_t seq;
-    bool operator<(const Key& o) const {
-      if (time != o.time) return time < o.time;
-      return seq < o.seq;
+    std::uint64_t seq;  // insertion order; same-time tiebreaker
+    std::uint32_t slot;
+    std::uint32_t generation;  // stale-entry guard (lazy cancellation)
+  };
+  // Min-heap on (time, seq) via std:: max-heap algorithms.
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
-  struct Entry {
-    Handle handle;
+  struct Slot {
     Callback callback;
+    std::uint32_t generation = 1;
   };
 
+  static Handle make_handle(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<Handle>(slot) + 1) << 32 | generation;
+  }
+  static std::uint32_t handle_slot(Handle h) {
+    return static_cast<std::uint32_t>(h >> 32) - 1;
+  }
+  static std::uint32_t handle_generation(Handle h) {
+    return static_cast<std::uint32_t>(h);
+  }
+
+  std::uint32_t acquire_slot(Callback cb) {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot].callback = std::move(cb);
+      return slot;
+    }
+    slots_.push_back(Slot{std::move(cb), 1});
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  /// Invalidate the slot's outstanding handle/heap entry and recycle it.
+  void release_slot(std::uint32_t slot) {
+    slots_[slot].callback = nullptr;
+    ++slots_[slot].generation;
+    free_slots_.push_back(slot);
+  }
+
+  /// Drop stale (cancelled) entries off the top of the heap.
+  void prune() {
+    while (!heap_.empty() &&
+           slots_[heap_.front().slot].generation != heap_.front().generation) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
   SimClock clock_;
-  std::map<Key, Entry> events_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   std::uint64_t seq_ = 0;
-  Handle next_handle_ = 1;
+  bool truncated_ = false;
 };
 
 }  // namespace distscroll::sim

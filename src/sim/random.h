@@ -5,6 +5,7 @@
 // and components' draws don't interleave when the wiring changes.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -24,9 +25,26 @@ class Rng {
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
   }
 
+  /// Box–Muller with a cached spare: each engine round trip yields TWO
+  /// standard normals; a fresh std::normal_distribution per call (the
+  /// previous implementation) discarded half the pair in the hottest
+  /// stochastic path (tremor/noise draws inside the trial loop).
   double gaussian(double mean, double stddev) {
-    if (stddev <= 0.0) return mean;
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    if (stddev <= 0.0) return mean;  // exact mean, no draw consumed
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1;
+    do {
+      u1 = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    } while (u1 <= 0.0);
+    const double u2 = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    spare_ = radius * std::sin(kTwoPi * u2);
+    has_spare_ = true;
+    return mean + stddev * radius * std::cos(kTwoPi * u2);
   }
 
   /// true with probability p.
@@ -56,6 +74,8 @@ class Rng {
 
   std::uint64_t seed_;
   std::mt19937_64 engine_;
+  double spare_ = 0.0;      // cached second Box–Muller normal
+  bool has_spare_ = false;
 };
 
 }  // namespace distscroll::sim

@@ -33,6 +33,8 @@ struct DeviceBlockResult {
   double success_rate = 0.0;
   double mean_time_s = 0.0;
   double errors_per_trial = 0.0;
+
+  friend bool operator==(const DeviceBlockResult&, const DeviceBlockResult&) = default;
 };
 
 struct DeviceParticipantResult {

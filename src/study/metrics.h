@@ -13,6 +13,8 @@ struct TrialRecord {
   human::AcquisitionOutcome outcome;
   std::size_t level_size = 0;
   std::size_t scroll_distance = 0;  // |target - start|
+
+  friend bool operator==(const TrialRecord&, const TrialRecord&) = default;
 };
 
 struct Aggregate {
@@ -25,6 +27,8 @@ struct Aggregate {
   double mean_overshoots = 0.0;
   double mean_corrections = 0.0;
   double throughput_bits_s = 0.0; // mean ID/time over successes
+
+  friend bool operator==(const Aggregate&, const Aggregate&) = default;
 };
 
 [[nodiscard]] Aggregate aggregate(std::span<const TrialRecord> records);

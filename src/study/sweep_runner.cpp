@@ -1,0 +1,24 @@
+#include "study/sweep_runner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace distscroll::study {
+
+std::size_t resolve_sweep_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("DISTSCROLL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+double sweep_wall_clock_s() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace distscroll::study

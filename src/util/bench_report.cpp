@@ -1,0 +1,30 @@
+#include "util/bench_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace distscroll::util {
+
+bool write_bench_report(const BenchReport& report) {
+  std::ofstream out("BENCH_" + report.name + ".json");
+  if (!out) return false;
+  char buffer[640];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\n"
+                "  \"name\": \"%s\",\n"
+                "  \"cells\": %zu,\n"
+                "  \"threads\": %zu,\n"
+                "  \"hardware_threads\": %zu,\n"
+                "  \"sequential_wall_s\": %.6f,\n"
+                "  \"parallel_wall_s\": %.6f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"bit_identical\": %s\n"
+                "}\n",
+                report.name.c_str(), report.cells, report.threads, report.hardware_threads,
+                report.sequential_wall_s, report.parallel_wall_s, report.speedup,
+                report.bit_identical ? "true" : "false");
+  out << buffer;
+  return static_cast<bool>(out);
+}
+
+}  // namespace distscroll::util

@@ -1,0 +1,29 @@
+// Perf-trajectory records for the experiment benches.
+//
+// Every bench converted to the parallel SweepRunner emits one
+// BENCH_<name>.json next to its CSV: wall clock sequential vs parallel,
+// the speedup, cell counts and thread counts. CI and later PRs diff
+// these files to track the perf trajectory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace distscroll::util {
+
+struct BenchReport {
+  std::string name;              // experiment name, e.g. "exp_scroll_comparison"
+  std::size_t cells = 0;         // sweep cells executed (per pass)
+  std::size_t threads = 1;       // thread count of the parallel pass
+  std::size_t hardware_threads = 1;
+  double sequential_wall_s = 0.0;
+  double parallel_wall_s = 0.0;
+  double speedup = 1.0;          // sequential / parallel
+  bool bit_identical = true;     // parallel results byte-equal to sequential
+};
+
+/// Writes `BENCH_<report.name>.json` in the working directory.
+/// Returns false when the file could not be opened.
+bool write_bench_report(const BenchReport& report);
+
+}  // namespace distscroll::util

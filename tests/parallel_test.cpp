@@ -1,0 +1,365 @@
+// Tests for the parallel experiment engine (PR: parallel sweep runner +
+// event-queue overhaul): ThreadPool correctness, SweepRunner's
+// determinism contract (bit-identical results at any thread count), the
+// binary-heap event calendar's dispatch order and lazy cancellation,
+// and the cached-spare gaussian.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/thread_pool.h"
+#include "study/sweep_runner.h"
+#include "util/csv.h"
+
+namespace distscroll {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+      sim::ThreadPool pool(threads);
+      constexpr std::size_t kCount = 1000;
+      std::vector<std::atomic<int>> hits(kCount);
+      pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); }, chunk);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads=" << threads
+                                     << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  sim::ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  sim::ThreadPool pool(4);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u) << "job " << job;
+  }
+}
+
+TEST(ThreadPool, SizeCountsCaller) {
+  EXPECT_EQ(sim::ThreadPool(1).size(), 1u);
+  EXPECT_EQ(sim::ThreadPool(8).size(), 8u);
+  EXPECT_GE(sim::ThreadPool(0).size(), 1u);  // hardware default, at least the caller
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner determinism contract
+
+struct CellOut {
+  std::uint64_t a = 0;
+  double b = 0.0;
+
+  friend bool operator==(const CellOut&, const CellOut&) = default;
+};
+
+CellOut sweep_body(std::size_t index, sim::Rng rng) {
+  CellOut out;
+  out.a = index * 1000003u + rng.uniform_int(0, 1 << 20);
+  // Mix draws so any RNG-sharing bug between cells shows up.
+  for (int i = 0; i < 16; ++i) out.b += rng.gaussian(0.0, 1.0) + rng.uniform(0.0, 1.0);
+  return out;
+}
+
+TEST(SweepRunner, BitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kCells = 257;  // not a multiple of any chunk size
+  study::SweepConfig sequential;
+  sequential.threads = 1;
+  sequential.base_seed = 42;
+  const auto expected = study::SweepRunner(sequential).run<CellOut>(kCells, sweep_body);
+  ASSERT_EQ(expected.size(), kCells);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{5}}) {
+      study::SweepConfig config;
+      config.threads = threads;
+      config.chunk = chunk;
+      config.base_seed = 42;
+      const auto got = study::SweepRunner(config).run<CellOut>(kCells, sweep_body);
+      EXPECT_TRUE(got == expected) << "threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(SweepRunner, CellRngDependsOnIndexNotSchedule) {
+  // Cell i's stream must equal Rng(base_seed).fork(i) regardless of
+  // which cells ran before it or on which worker.
+  study::SweepConfig config;
+  config.threads = 8;
+  config.base_seed = 7;
+  const auto streams = study::SweepRunner(config).run<std::uint64_t>(
+      64, [](std::size_t, sim::Rng rng) { return rng.uniform_int(0, 1 << 30); });
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    sim::Rng reference = sim::Rng(7).fork(i);
+    EXPECT_EQ(streams[i], static_cast<std::uint64_t>(reference.uniform_int(0, 1 << 30)))
+        << "cell " << i;
+  }
+}
+
+TEST(SweepRunner, DifferentSeedsDiverge) {
+  study::SweepConfig a, b;
+  a.threads = b.threads = 1;
+  a.base_seed = 1;
+  b.base_seed = 2;
+  auto body = [](std::size_t, sim::Rng rng) { return rng.uniform(0.0, 1.0); };
+  EXPECT_NE(study::SweepRunner(a).run<double>(8, body),
+            study::SweepRunner(b).run<double>(8, body));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SweepRunner, CsvBytesIdenticalAcrossThreadCounts) {
+  // End-to-end shape of every converted bench: sweep -> CSV. The files
+  // written from a 1-thread and an 8-thread run must match byte for byte.
+  auto emit = [](std::size_t threads, const std::string& path) {
+    study::SweepConfig config;
+    config.threads = threads;
+    config.base_seed = 0xC0FFEE;
+    const auto cells = study::SweepRunner(config).run<CellOut>(33, sweep_body);
+    util::CsvWriter csv(path, {"cell", "a", "b"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      csv.row({static_cast<double>(i), static_cast<double>(cells[i].a), cells[i].b});
+    }
+  };
+  const std::string seq = "parallel_test_seq.csv";
+  const std::string par = "parallel_test_par.csv";
+  emit(1, seq);
+  emit(8, par);
+  const std::string seq_bytes = slurp(seq);
+  ASSERT_FALSE(seq_bytes.empty());
+  EXPECT_EQ(seq_bytes, slurp(par));
+  std::remove(seq.c_str());
+  std::remove(par.c_str());
+}
+
+TEST(SweepRunner, ThreadsResolveFromEnvironment) {
+  // Explicit request wins over everything.
+  EXPECT_EQ(study::resolve_sweep_threads(3), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: heap calendar dispatch order
+
+TEST(EventQueueHeap, SameTimeDispatchesInInsertionOrder) {
+  sim::EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(util::Seconds{1.0}, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueHeap, RandomTimesMatchStableSortReference) {
+  sim::Rng rng(123);
+  sim::EventQueue queue;
+  struct Ref {
+    double time;
+    int id;
+  };
+  std::vector<Ref> reference;
+  std::vector<int> dispatched;
+  for (int i = 0; i < 500; ++i) {
+    // Coarse buckets force many exact ties.
+    const double t = static_cast<double>(rng.uniform_int(0, 20)) * 0.1;
+    reference.push_back({t, i});
+    queue.schedule_at(util::Seconds{t}, [&dispatched, i] { dispatched.push_back(i); });
+  }
+  queue.run_all();
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const Ref& a, const Ref& b) { return a.time < b.time; });
+  ASSERT_EQ(dispatched.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(dispatched[i], reference[i].id) << "position " << i;
+  }
+}
+
+TEST(EventQueueHeap, InterleavedScheduleFromCallbacks) {
+  // Events scheduled during dispatch land in the right order too.
+  sim::EventQueue queue;
+  std::vector<std::string> log;
+  queue.schedule_at(util::Seconds{1.0}, [&] {
+    log.push_back("a");
+    queue.schedule_after(util::Seconds{1.0}, [&] { log.push_back("c"); });
+  });
+  queue.schedule_at(util::Seconds{1.5}, [&] { log.push_back("b"); });
+  queue.run_all();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "a");
+  EXPECT_EQ(log[1], "b");
+  EXPECT_EQ(log[2], "c");
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: lazy cancellation semantics
+
+TEST(EventQueueCancel, CancelledEventNeverFires) {
+  sim::EventQueue queue;
+  bool fired = false;
+  const auto handle = queue.schedule_at(util::Seconds{1.0}, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(handle));
+  queue.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueCancel, DoubleCancelReturnsFalse) {
+  sim::EventQueue queue;
+  const auto handle = queue.schedule_at(util::Seconds{1.0}, [] {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueueCancel, StaleHandleAfterSlotReuseReturnsFalse) {
+  sim::EventQueue queue;
+  const auto first = queue.schedule_at(util::Seconds{1.0}, [] {});
+  ASSERT_TRUE(queue.cancel(first));
+  // The freed slot is reused; the generation tag must reject `first`.
+  bool second_fired = false;
+  const auto second = queue.schedule_at(util::Seconds{2.0}, [&] { second_fired = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(queue.cancel(first));
+  queue.run_all();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueueCancel, PendingExcludesCancelled) {
+  sim::EventQueue queue;
+  const auto a = queue.schedule_at(util::Seconds{1.0}, [] {});
+  queue.schedule_at(util::Seconds{2.0}, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_TRUE(queue.cancel(a));
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_FALSE(queue.empty());
+  queue.run_all();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueueCancel, FiredHandleCannotBeCancelled) {
+  sim::EventQueue queue;
+  const auto handle = queue.schedule_at(util::Seconds{1.0}, [] {});
+  queue.run_all();
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueueCancel, InvalidHandleIsRejected) {
+  sim::EventQueue queue;
+  EXPECT_FALSE(queue.cancel(sim::EventQueue::kInvalidHandle));
+}
+
+TEST(EventQueueCancel, CancelStormStaysConsistent) {
+  sim::EventQueue queue;
+  sim::Rng rng(99);
+  std::vector<sim::EventQueue::Handle> handles;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(
+        queue.schedule_at(util::Seconds{rng.uniform(0.0, 10.0)}, [&fired] { ++fired; }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    if (queue.cancel(handles[i])) ++cancelled;
+  }
+  EXPECT_EQ(cancelled, 500);
+  EXPECT_EQ(queue.pending(), 500u);
+  queue.run_all();
+  EXPECT_EQ(fired, 500);
+  EXPECT_TRUE(queue.empty());
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: run_all safety cap surfaced
+
+TEST(EventQueueRunAll, TruncatedFlagSetWhenCapHit) {
+  sim::EventQueue queue;
+  // Self-perpetuating event: would run forever without the cap.
+  std::function<void()> reschedule = [&] {
+    queue.schedule_after(util::Seconds{0.001}, reschedule);
+  };
+  queue.schedule_after(util::Seconds{0.001}, reschedule);
+  const std::size_t steps = queue.run_all(/*max_events=*/1000);
+  EXPECT_EQ(steps, 1000u);
+  EXPECT_TRUE(queue.truncated());
+  EXPECT_FALSE(queue.empty());
+}
+
+TEST(EventQueueRunAll, TruncatedFlagClearOnNormalDrain) {
+  sim::EventQueue queue;
+  queue.schedule_at(util::Seconds{1.0}, [] {});
+  queue.schedule_at(util::Seconds{2.0}, [] {});
+  EXPECT_EQ(queue.run_all(), 2u);
+  EXPECT_FALSE(queue.truncated());
+}
+
+// ---------------------------------------------------------------------------
+// Rng: cached Box–Muller spare
+
+TEST(RngGaussian, SpareMakesPairsFromOneEngineRound) {
+  // Two consecutive gaussians consume the same engine state as one
+  // Box–Muller round: after draws 2k, the engine matches a fresh RNG
+  // that did k rounds.
+  sim::Rng a(5), b(5);
+  a.gaussian(0.0, 1.0);
+  a.gaussian(0.0, 1.0);  // second draw comes from the spare
+  b.gaussian(0.0, 1.0);
+  b.gaussian(0.0, 1.0);
+  // Both streams identical draw by draw.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.gaussian(1.0, 2.0), b.gaussian(1.0, 2.0));
+}
+
+TEST(RngGaussian, ZeroStddevReturnsMeanWithoutConsumingDraws) {
+  sim::Rng a(17), b(17);
+  EXPECT_EQ(a.gaussian(3.5, 0.0), 3.5);
+  EXPECT_EQ(a.gaussian(-1.0, -2.0), -1.0);
+  // b consumed nothing either; streams still in lockstep.
+  EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RngGaussian, ForkedStreamsUnaffectedBySpare) {
+  sim::Rng parent(31);
+  parent.gaussian(0.0, 1.0);  // leaves a spare cached in the parent
+  sim::Rng fork_after = parent.fork(9);
+  sim::Rng fork_fresh = sim::Rng(31).fork(9);
+  EXPECT_EQ(fork_after.gaussian(0.0, 1.0), fork_fresh.gaussian(0.0, 1.0));
+}
+
+TEST(RngGaussian, MomentsSane) {
+  sim::Rng rng(2024);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gaussian(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+}  // namespace
+}  // namespace distscroll
