@@ -16,6 +16,8 @@
 #include "display/bt96040.h"
 #include "display/display_driver.h"
 #include "menu/menu_builder.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sensors/gp2d120.h"
 #include "hw/scheduler.h"
 #include "sim/event_queue.h"
@@ -189,6 +191,37 @@ void BM_SweepRunner(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kCells);
 }
 BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(8);
+
+/// The tracer hot path: one record into the pre-allocated ring — what
+/// every instrumented firmware tick pays per event. Arg 1 = category
+/// mask hit (event retained), Arg 0 = mask miss (stream filtered off,
+/// the cost of a runtime-disabled category).
+void BM_TracerRecord(benchmark::State& state) {
+  obs::Tracer tracer(1 << 14, state.range(0) ? obs::kCatAll : obs::kCatSensor);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    tracer.record_at(static_cast<double>(i), obs::EventKind::AdcRead, 2, i);
+    ++i;
+  }
+  benchmark::DoNotOptimize(tracer.size());
+  state.counters["ring_dropped"] = static_cast<double>(tracer.dropped());
+}
+BENCHMARK(BM_TracerRecord)->Arg(1)->Arg(0);
+
+/// MetricsRegistry hot path: recording through a cached instrument
+/// reference (the usage contract — no name lookup per sample).
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("lat");
+  double v = 0.25e-3;
+  for (auto _ : state) {
+    v = v * 1.7 + 1e-5;
+    if (v > 20.0) v = 0.25e-3;
+    hist.record(v);
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramRecord);
 
 void BM_DisplayFullRedraw(benchmark::State& state) {
   hw::I2cBus bus;

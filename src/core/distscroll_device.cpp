@@ -46,24 +46,12 @@ DistScrollDevice::DistScrollDevice(Config config, const menu::MenuNode& menu_roo
         std::make_unique<input::Button>(config_.button, board_.gpio(), pin, queue, rng.fork(10 + pin)));
     debouncers_.emplace_back();
   }
-  if (config_.button_layout == ButtonLayout::SingleLargeButton) {
-    // One physical button: short press = SELECT on release, long press
-    // (>= threshold) = BACK. The other debouncers stay unused.
-    debouncers_[0].on_press([this] { select_pressed_at_s_ = queue_->now().value; });
-    debouncers_[0].on_release([this] {
-      if (select_pressed_at_s_ < 0.0) return;
-      const double held = queue_->now().value - select_pressed_at_s_;
-      select_pressed_at_s_ = -1.0;
-      if (held >= config_.long_press.threshold_s) {
-        handle_back();
-      } else {
-        handle_select();
-      }
-    });
-  } else {
-    debouncers_[0].on_press([this] { handle_select(); });
-    debouncers_[1].on_press([this] { handle_back(); });
-    debouncers_[2].on_press([this] { handle_aux(); });
+  // All debounced edges funnel through on_button_edge: one place that
+  // traces the edge and dispatches per the configured layout — and the
+  // same entry point trace replay injects recorded edges into.
+  for (std::size_t i = 0; i < debouncers_.size(); ++i) {
+    debouncers_[i].on_press([this, i] { on_button_edge(i, true); });
+    debouncers_[i].on_release([this, i] { on_button_edge(i, false); });
   }
 
   if (config_.use_dual_sensor) {
@@ -114,6 +102,42 @@ void DistScrollDevice::set_surface(sensors::SurfaceProfile surface) {
   ranger_.set_surface(surface);
 }
 
+void DistScrollDevice::attach_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->bind_clock(*queue_);
+  ranger_.set_tracer(tracer);
+  if (controller_) controller_->set_tracer(tracer);
+}
+
+void DistScrollDevice::on_button_edge(std::size_t index, bool pressed) {
+  DS_TRACE(tracer_, obs::EventKind::ButtonEdge, static_cast<std::uint32_t>(index),
+           pressed ? 1u : 0u);
+  if (config_.button_layout == ButtonLayout::SingleLargeButton) {
+    // One physical button: short press = SELECT on release, long press
+    // (>= threshold) = BACK. The other buttons stay unused.
+    if (index != 0) return;
+    if (pressed) {
+      select_pressed_at_s_ = queue_->now().value;
+      return;
+    }
+    if (select_pressed_at_s_ < 0.0) return;
+    const double held = queue_->now().value - select_pressed_at_s_;
+    select_pressed_at_s_ = -1.0;
+    if (held >= config_.long_press.threshold_s) {
+      handle_back();
+    } else {
+      handle_select();
+    }
+    return;
+  }
+  if (!pressed) return;
+  switch (index) {
+    case 0: handle_select(); break;
+    case 1: handle_back(); break;
+    default: handle_aux(); break;
+  }
+}
+
 void DistScrollDevice::power_on() {
   if (powered_) return;
   powered_ = true;
@@ -159,7 +183,7 @@ void DistScrollDevice::rebuild_mapping() {
   }
 
   mapper_ = std::make_unique<IslandMapper>(config_.curve, islands, config_.islands);
-  controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll);
+  controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll, tracer_);
   if (config_.enable_fast_scroll) {
     FastScrollMode::Config fs = config_.fast_scroll;
     if (fs.threshold_counts == 0) {
@@ -178,6 +202,8 @@ void DistScrollDevice::rebuild_mapping() {
 void DistScrollDevice::apply_entry(std::size_t absolute_index) {
   if (absolute_index != cursor_.index()) {
     cursor_.move_to(absolute_index);
+    DS_TRACE(tracer_, obs::EventKind::CursorMove, static_cast<std::uint32_t>(cursor_.index()),
+             static_cast<std::uint32_t>(cursor_.depth()));
     redraw();
   }
 }
@@ -209,9 +235,17 @@ void DistScrollDevice::firmware_tick() {
 
   if (sample_this_tick) {
     ticks_since_sample_ = 0;
-    // Sample the ranger through the ADC (the MCU busy-waits conversion).
-    last_counts_ = board_.adc().sample(ranger_channel_, now);
+    // Sample the ranger through the ADC (the MCU busy-waits conversion),
+    // or consume the replay override's recorded counts stream. Cycle
+    // cost is identical either way so replays keep the MCU budget.
+    if (counts_override_) {
+      if (const auto forced = counts_override_()) last_counts_ = *forced;
+    } else {
+      last_counts_ = board_.adc().sample(ranger_channel_, now);
+    }
     mcu.charge_cycles(kAdcCycles);
+    DS_TRACE(tracer_, obs::EventKind::AdcRead, static_cast<std::uint32_t>(ranger_channel_),
+             last_counts_.value);
 
     // --- dual-sensor fold resolution (the board's second GP2D120) --------
     bool sample_valid = true;
@@ -244,6 +278,9 @@ void DistScrollDevice::firmware_tick() {
                               ? steps
                               : -steps;
           cursor_.move_by(dir);
+          DS_TRACE(tracer_, obs::EventKind::CursorMove,
+                   static_cast<std::uint32_t>(cursor_.index()),
+                   static_cast<std::uint32_t>(cursor_.depth()));
           redraw();
         }
       }
@@ -338,6 +375,8 @@ void DistScrollDevice::handle_select() {
   SelectionEvent event{queue_->now().value, target.label(), target.is_leaf(), cursor_.depth()};
   if (cursor_.enter()) {
     event.depth = cursor_.depth();
+    DS_TRACE(tracer_, obs::EventKind::CursorMove, static_cast<std::uint32_t>(cursor_.index()),
+             static_cast<std::uint32_t>(cursor_.depth()));
     rebuild_mapping();
     redraw();
   } else {
@@ -350,6 +389,8 @@ void DistScrollDevice::handle_select() {
 void DistScrollDevice::handle_back() {
   mark_activity(queue_->now());
   if (cursor_.back()) {
+    DS_TRACE(tracer_, obs::EventKind::CursorMove, static_cast<std::uint32_t>(cursor_.index()),
+             static_cast<std::uint32_t>(cursor_.depth()));
     rebuild_mapping();
     redraw();
   }
@@ -367,18 +408,22 @@ void DistScrollDevice::advance_chunk() {
   if (islands != mapper_->entries()) {
     // The last chunk can be short: the island table must match it.
     mapper_ = std::make_unique<IslandMapper>(config_.curve, islands, config_.islands);
-    controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll);
+    controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll, tracer_);
     board_.mcu().charge_cycles(60 + 220 * islands);
   } else {
     controller_->reset();
   }
   cursor_.move_to(chunker_->to_absolute(0));
+  DS_TRACE(tracer_, obs::EventKind::CursorMove, static_cast<std::uint32_t>(cursor_.index()),
+           static_cast<std::uint32_t>(cursor_.depth()));
   redraw();
 }
 
 void DistScrollDevice::redraw() {
   ++redraws_;
   board_.mcu().charge_cycles(kRedrawCycles);
+  DS_TRACE(tracer_, obs::EventKind::DisplayFlush, static_cast<std::uint32_t>(cursor_.index()),
+           static_cast<std::uint32_t>(std::max<std::size_t>(1, cursor_.level_size())));
 
   // --- top display: 5-line menu window around the cursor -----------------
   const menu::MenuNode& level = cursor_.current_level();

@@ -33,6 +33,7 @@
 #include "input/debouncer.h"
 #include "input/potentiometer.h"
 #include "menu/menu.h"
+#include "obs/tracer.h"
 #include "sensors/adxl311.h"
 #include "sensors/gp2d120.h"
 #include "wireless/packet.h"
@@ -151,9 +152,33 @@ class DistScrollDevice {
   /// Contrast potentiometer (user-adjustable, drives display bias).
   input::Potentiometer& contrast_pot() { return pot_; }
 
+  // --- observability ------------------------------------------------------
+  /// Attach a structured tracer (nullptr detaches). Binds the tracer's
+  /// clock to the device's event queue and propagates to the scroll
+  /// controller and ranger. Tracing must never perturb behaviour —
+  /// pinned by the tracing on/off property test.
+  void attach_tracer(obs::Tracer* tracer);
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  // --- replay hooks (obs/replay.h) ---------------------------------------
+  /// When set, the firmware consumes ADC counts from this source instead
+  /// of sampling the ranger through the ADC — the byte-exact replay path
+  /// for recorded AdcRead streams. Returning nullopt holds the previous
+  /// counts (the zero-order hold a stalled sensor would give). Cycle
+  /// accounting is unchanged, so the MCU budget stays comparable.
+  void set_counts_override(std::function<std::optional<util::AdcCounts>()> source) {
+    counts_override_ = std::move(source);
+  }
+  /// Deliver a debounced button edge directly (bypassing GPIO bounce and
+  /// the debouncer): exactly what the debouncer callback would do,
+  /// including the trace event. Used by trace replay to re-drive
+  /// recorded ButtonEdge events.
+  void inject_button_edge(std::size_t button, bool pressed) { on_button_edge(button, pressed); }
+
  private:
   void firmware_tick();
   void button_tick();
+  void on_button_edge(std::size_t index, bool pressed);
   void rebuild_mapping();
   void apply_entry(std::size_t absolute_index);
   void handle_select();
@@ -192,6 +217,8 @@ class DistScrollDevice {
 
   std::function<util::Centimeters(util::Seconds)> distance_provider_;
   std::function<util::Radians(util::Seconds)> tilt_provider_;
+  std::function<std::optional<util::AdcCounts>()> counts_override_;
+  obs::Tracer* tracer_ = nullptr;
 
   std::size_t ranger_channel_ = 0;
   std::size_t secondary_channel_ = 0;

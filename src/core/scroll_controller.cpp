@@ -47,6 +47,7 @@ ScrollController::Update ScrollController::on_sample(util::AdcCounts raw) {
   const std::uint16_t filtered = apply_smoothing(raw.value, update.cycles);
 
   const auto before = island_selection_;
+  const bool was_in_gap = in_gap_;
   // One table probe serves both the selection and the gap statistic (a
   // second stateless lookup() per sample used to pay for the latter).
   const auto result = mapper_->probe(util::AdcCounts{filtered}, island_selection_);
@@ -57,6 +58,26 @@ ScrollController::Update ScrollController::on_sample(util::AdcCounts raw) {
   if (island_selection_ != before) {
     ++changes_;
     update.changed = true;
+  }
+  in_gap_ = result.in_gap;
+  // --- trace the transitions (observability only; no behaviour) ----------
+  if (island_selection_ != before) {
+    if (before) {
+      DS_TRACE(tracer_, obs::EventKind::IslandLeave, static_cast<std::uint32_t>(*before),
+               static_cast<std::uint32_t>(to_menu_index(*before)));
+    }
+    DS_TRACE(tracer_, obs::EventKind::IslandEnter,
+             static_cast<std::uint32_t>(*island_selection_),
+             static_cast<std::uint32_t>(to_menu_index(*island_selection_)));
+  } else if (!in_gap_ && was_in_gap && island_selection_) {
+    // Re-entered the same island after a dead-zone excursion.
+    DS_TRACE(tracer_, obs::EventKind::IslandEnter,
+             static_cast<std::uint32_t>(*island_selection_),
+             static_cast<std::uint32_t>(to_menu_index(*island_selection_)));
+  }
+  if (in_gap_ && !was_in_gap && island_selection_) {
+    DS_TRACE(tracer_, obs::EventKind::DeadZoneCross,
+             static_cast<std::uint32_t>(*island_selection_), filtered);
   }
   update.menu_index = selection();
   return update;
@@ -69,6 +90,7 @@ std::optional<std::size_t> ScrollController::selection() const {
 
 void ScrollController::reset() {
   island_selection_.reset();
+  in_gap_ = false;
   median_window_.clear();
   ema_state_ = -1;
 }

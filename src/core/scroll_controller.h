@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "core/island_mapper.h"
+#include "obs/tracer.h"
 #include "util/ring_buffer.h"
 #include "util/units.h"
 
@@ -42,8 +43,14 @@ class ScrollController {
     Smoothing smoothing = Smoothing::Raw;
   };
 
-  ScrollController(const IslandMapper& mapper, Config config)
-      : mapper_(&mapper), config_(config) {}
+  ScrollController(const IslandMapper& mapper, Config config,
+                   obs::Tracer* tracer = nullptr)
+      : mapper_(&mapper), config_(config), tracer_(tracer) {}
+
+  /// Structured tracing of island enter/leave and dead-zone crossings.
+  /// Null detaches; tracing must never change behaviour (pinned by the
+  /// tracing on/off property test).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const IslandMapper& mapper() const { return *mapper_; }
@@ -76,6 +83,8 @@ class ScrollController {
 
   const IslandMapper* mapper_;
   Config config_;
+  obs::Tracer* tracer_ = nullptr;
+  bool in_gap_ = false;  // last sample fell in a selection-free gap
   std::optional<std::size_t> island_selection_;
   util::RingBuffer<std::uint16_t, 3> median_window_;
   std::int32_t ema_state_ = -1;  // scaled by 4 to keep fractional bits

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "util/units.h"
 
@@ -55,6 +56,14 @@ class Mcu {
 
   [[nodiscard]] sim::EventQueue& queue() { return *queue_; }
   [[nodiscard]] util::Seconds now() const { return queue_->now(); }
+
+  /// Publish the MCU's budget state into a metrics registry.
+  void export_metrics(obs::MetricsRegistry& registry, const char* prefix = "mcu") const {
+    std::string p(prefix);
+    registry.counter(p + "_cycles").set(cycles_);
+    registry.gauge(p + "_ram_used_bytes").set(static_cast<double>(ram_used_));
+    registry.gauge(p + "_flash_used_bytes").set(static_cast<double>(flash_used_));
+  }
 
  private:
   void arm(std::size_t timer);

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "hw/mcu.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/units.h"
 
 namespace distscroll::hw {
@@ -60,6 +62,18 @@ class Scheduler {
   [[nodiscard]] std::uint64_t overruns() const { return overruns_; }
   [[nodiscard]] std::uint64_t runs(std::size_t task) const { return tasks_[task].runs; }
 
+  /// Structured tracing of budget overruns (TickOverrun: a = cycles
+  /// spent, b = tick budget). Null detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Publish the scheduler's timing envelope into a metrics registry.
+  void export_metrics(obs::MetricsRegistry& registry, const char* prefix = "sched") const {
+    std::string p(prefix);
+    registry.counter(p + "_ticks").set(ticks_);
+    registry.counter(p + "_overruns").set(overruns_);
+    registry.gauge(p + "_utilization").set(utilization());
+  }
+
   /// Mean fraction of the tick budget used.
   [[nodiscard]] double utilization() const {
     if (ticks_ == 0) return 0.0;
@@ -91,11 +105,16 @@ class Scheduler {
       ++task.runs;
     }
     used_cycles_ += spent;
-    if (spent > budget_cycles_) ++overruns_;
+    if (spent > budget_cycles_) {
+      ++overruns_;
+      DS_TRACE(tracer_, obs::EventKind::TickOverrun, static_cast<std::uint32_t>(spent),
+               static_cast<std::uint32_t>(budget_cycles_));
+    }
   }
 
   Config config_;
   Mcu* mcu_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<Task> tasks_;
   std::uint64_t budget_cycles_;
   std::size_t timer_ = 0;

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace distscroll::obs {
+
+// --- Histogram --------------------------------------------------------------
+
+void Histogram::record(double value) {
+  ++count_;
+  std::size_t bucket = 0;
+  if (value > config_.first_bucket) {
+    bucket = static_cast<std::size_t>(std::floor(std::log2(value / config_.first_bucket))) + 1;
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  ++buckets_[bucket];
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  return (i == 0) ? 0.0 : config_.first_bucket * std::pow(2.0, static_cast<double>(i - 1));
+}
+
+std::string Histogram::render(int bar_width) const {
+  std::string out;
+  const std::uint64_t peak =
+      std::max<std::uint64_t>(1, *std::max_element(buckets_.begin(), buckets_.end()));
+  char line[160];
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const int bar = static_cast<int>(
+        (buckets_[i] * static_cast<std::uint64_t>(bar_width) + peak - 1) / peak);
+    std::snprintf(line, sizeof(line), "  %8.2f %s | %-*s %llu\n",
+                  bucket_low(i) * config_.display_scale, config_.unit, bar_width,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  if (out.empty()) out = "  (no samples)\n";
+  return out;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  for (auto& entry : counters_) {
+    if (entry.name == name) return entry.instrument;
+  }
+  counters_.push_back({name, Counter{}});
+  order_.push_back({0, counters_.size() - 1});
+  return counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  for (auto& entry : gauges_) {
+    if (entry.name == name) return entry.instrument;
+  }
+  gauges_.push_back({name, Gauge{}});
+  order_.push_back({1, gauges_.size() - 1});
+  return gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Histogram::Config config) {
+  for (auto& entry : histograms_) {
+    if (entry.name == name) return entry.instrument;
+  }
+  histograms_.push_back({name, Histogram{config}});
+  order_.push_back({2, histograms_.size() - 1});
+  return histograms_.back().instrument;
+}
+
+std::vector<MetricsRegistry::Row> MetricsRegistry::rows() const {
+  std::vector<Row> out;
+  out.reserve(order_.size());
+  for (const Key& key : order_) {
+    switch (key.family) {
+      case 0:
+        out.push_back({counters_[key.index].name,
+                       static_cast<double>(counters_[key.index].instrument.value()), nullptr});
+        break;
+      case 1:
+        out.push_back({gauges_[key.index].name, gauges_[key.index].instrument.value(), nullptr});
+        break;
+      default:
+        out.push_back({histograms_[key.index].name,
+                       static_cast<double>(histograms_[key.index].instrument.count()),
+                       &histograms_[key.index].instrument});
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json_fields(int indent) const {
+  std::string out;
+  char line[256];
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  bool first = true;
+  for (const Row& row : rows()) {
+    if (!first) out += ",\n";
+    first = false;
+    if (row.histogram != nullptr) {
+      std::snprintf(line, sizeof(line), "%s\"%s_count\": %.0f", pad.c_str(), row.name.c_str(),
+                    row.value);
+    } else if (row.value == std::floor(row.value) && std::abs(row.value) < 1e15) {
+      std::snprintf(line, sizeof(line), "%s\"%s\": %.0f", pad.c_str(), row.name.c_str(),
+                    row.value);
+    } else {
+      std::snprintf(line, sizeof(line), "%s\"%s\": %.6f", pad.c_str(), row.name.c_str(),
+                    row.value);
+    }
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& entry : counters_) entry.instrument.set(0);
+  for (auto& entry : gauges_) entry.instrument.set(0.0);
+  for (auto& entry : histograms_) entry.instrument.clear();
+}
+
+}  // namespace distscroll::obs

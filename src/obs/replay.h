@@ -1,0 +1,55 @@
+// Trace replay: re-drive a DistScrollDevice from a recorded trace.
+//
+// The replay contract (see DESIGN.md): a trace captured with the
+// kCatReplay category mask contains the device-level *inputs* — the
+// AdcRead counts the firmware consumed each sample tick and the
+// debounced ButtonEdge stream — plus everything the firmware derived
+// from them (island transitions, cursor moves, display flushes). Replay
+// feeds exactly those inputs back into a freshly constructed device:
+//
+//  * the recorded counts stream enters through
+//    DistScrollDevice::set_counts_override (the ADC/sensor/noise chain
+//    is bypassed entirely, so the sensor's RNG is never consumed);
+//  * recorded button edges are injected through
+//    DistScrollDevice::inject_button_edge at their recorded tick times,
+//    from an injector event chain that runs after the device's own
+//    timers at equal timestamps (matching record-time dispatch order);
+//
+// and captures a new trace under the same mask. Because the firmware is
+// a deterministic function of that input stream, the replayed trace must
+// equal the recorded one byte for byte — the invariant trace_replay and
+// the golden-trace test enforce.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/trace_io.h"
+
+namespace distscroll::obs {
+
+/// The canonical scripted phone-menu session (session id 1): a fixed
+/// seed, a piecewise-linear hand-distance profile and a scripted
+/// press sequence over menu::make_phone_menu(). This is the session
+/// recorded into tests/golden/ — regenerate with
+/// DISTSCROLL_REGEN_GOLDEN=1 (see README).
+[[nodiscard]] Trace record_canonical_session();
+
+/// Re-drive a fresh device from the recorded inputs in `trace` and
+/// capture the resulting trace under the same category mask.
+[[nodiscard]] Trace replay_device_trace(const Trace& trace);
+
+struct CompareResult {
+  bool match = false;
+  /// Index of the first differing event when the streams diverge
+  /// (== min(sizes) when one is a prefix of the other).
+  std::size_t first_divergence = 0;
+  /// Human-readable description of the divergence (empty on match).
+  std::string detail;
+};
+
+/// Field-by-field comparison with a diagnosis of the first divergence.
+/// Equivalent to serialize(expected) == serialize(actual).
+[[nodiscard]] CompareResult compare_traces(const Trace& expected, const Trace& actual);
+
+}  // namespace distscroll::obs

@@ -24,12 +24,12 @@ util::Volts Gp2d120Model::ideal_output(util::Centimeters distance) const {
   return util::Volts{std::max(config_.min_output_volts, v)};
 }
 
-void Gp2d120Model::remeasure(util::Centimeters distance) {
+bool Gp2d120Model::remeasure(util::Centimeters distance) {
   if (rng_.bernoulli(surface_.specular_glitch_probability)) {
     // Beam deflected by a specular boundary: no valid measurement, the
     // output drops to the out-of-range floor for this cycle.
     held_volts_ = config_.min_output_volts;
-    return;
+    return true;
   }
   // Reflectivity shifts the triangulation spot slightly; the datasheet
   // shows only a few percent difference between white and gray targets.
@@ -37,11 +37,14 @@ void Gp2d120Model::remeasure(util::Centimeters distance) {
   double v = ideal_output(distance).value * (1.0 + refl_shift);
   v += rng_.gaussian(0.0, config_.output_noise_volts);
   held_volts_ = std::clamp(v, 0.0, 3.3);
+  return false;
 }
 
 util::Volts Gp2d120Model::output(util::Centimeters true_distance, util::Seconds now) {
   if (!ever_measured_ || now.value >= next_measurement_s_) {
-    remeasure(true_distance);
+    [[maybe_unused]] const bool glitch = remeasure(true_distance);
+    DS_TRACE_AT(tracer_, now.value, obs::EventKind::SensorMeasure,
+                static_cast<std::uint32_t>(held_volts_ * 1e6), glitch ? 1u : 0u);
     ever_measured_ = true;
     // Align the next measurement to the sensor's own internal grid.
     const double period = config_.measurement_period.value;

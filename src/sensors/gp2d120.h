@@ -18,6 +18,7 @@
 //    lower-bounds the end-to-end latency of distance scrolling.
 #pragma once
 
+#include "obs/tracer.h"
 #include "sensors/surface.h"
 #include "sim/random.h"
 #include "util/units.h"
@@ -51,6 +52,11 @@ class Gp2d120Model {
   void set_surface(SurfaceProfile surface) { surface_ = surface; }
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Structured tracing of the sensor's internal measurement grid (one
+  /// SensorMeasure event per remeasure, including specular glitches).
+  /// Null detaches; tracing must never change behaviour.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Ideal (noise-free, instantaneous) transfer function; exposed so
   /// calibration and the Fig. 4 bench can compare fit vs truth.
   [[nodiscard]] util::Volts ideal_output(util::Centimeters distance) const;
@@ -74,11 +80,13 @@ class Gp2d120Model {
   }
 
  private:
-  void remeasure(util::Centimeters distance);
+  /// Returns whether this measurement was a specular glitch.
+  bool remeasure(util::Centimeters distance);
 
   Config config_;
   sim::Rng rng_;
   SurfaceProfile surface_;
+  obs::Tracer* tracer_ = nullptr;
   // Sample-and-hold state.
   double held_volts_ = 0.0;
   double next_measurement_s_ = 0.0;

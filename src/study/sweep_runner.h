@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/random.h"
 #include "sim/thread_pool.h"
 #include "util/bench_report.h"
@@ -109,15 +111,33 @@ class SweepRunner {
 /// determinism contract, checked on every bench run), prints a summary
 /// line and writes BENCH_<name>.json. Returns the sequential results.
 /// Result must provide operator==.
+///
+/// Per-cell metric snapshots: the sequential pass times every cell into
+/// a `cell_wall` histogram on `metrics` (caller's registry when given, a
+/// local one otherwise — benches can pre-fill their own instruments),
+/// and the whole registry is embedded as the "metrics" object of
+/// BENCH_<name>.json. Only the single-threaded pass records, so the
+/// registry needs no locking and the parallel pass stays untouched.
 [[nodiscard]] double sweep_wall_clock_s();
 
 template <typename Result, typename Body>
 std::vector<Result> timed_sweep(const std::string& name, std::size_t count,
                                 std::uint64_t base_seed, Body&& body,
-                                std::size_t threads = 0, std::size_t chunk = 1) {
+                                std::size_t threads = 0, std::size_t chunk = 1,
+                                obs::MetricsRegistry* metrics = nullptr) {
+  obs::MetricsRegistry local_metrics;
+  obs::MetricsRegistry& registry = metrics ? *metrics : local_metrics;
+  obs::Histogram& cell_wall =
+      registry.histogram("cell_wall", {1e-3, 1e3, "ms"});
+
   SweepRunner sequential({1, chunk, base_seed});
   const double t0 = sweep_wall_clock_s();
-  auto expected = sequential.run<Result>(count, body);
+  auto expected = sequential.run<Result>(count, [&](std::size_t index, sim::Rng rng) {
+    const double cell_t0 = sweep_wall_clock_s();
+    Result result = body(index, std::move(rng));
+    cell_wall.record(sweep_wall_clock_s() - cell_t0);
+    return result;
+  });
   const double t1 = sweep_wall_clock_s();
 
   SweepRunner parallel({threads, chunk, base_seed});
@@ -136,6 +156,9 @@ std::vector<Result> timed_sweep(const std::string& name, std::size_t count,
                        ? report.sequential_wall_s / report.parallel_wall_s
                        : 1.0;
   report.bit_identical = results == expected;
+  report.tracing_compiled = obs::Tracer::compiled_in();
+  registry.counter("cells_run").set(count);
+  report.metrics_json = registry.to_json_fields(4);
   write_bench_report(report);
   std::printf("[%s] %zu cells: %.3f s sequential, %.3f s on %zu threads "
               "(speedup %.2fx, results %s) -> BENCH_%s.json\n",

@@ -18,12 +18,17 @@ bool write_bench_report(const BenchReport& report) {
                 "  \"sequential_wall_s\": %.6f,\n"
                 "  \"parallel_wall_s\": %.6f,\n"
                 "  \"speedup\": %.3f,\n"
-                "  \"bit_identical\": %s\n"
-                "}\n",
+                "  \"bit_identical\": %s,\n"
+                "  \"tracing_compiled\": %s",
                 report.name.c_str(), report.cells, report.threads, report.hardware_threads,
                 report.sequential_wall_s, report.parallel_wall_s, report.speedup,
-                report.bit_identical ? "true" : "false");
+                report.bit_identical ? "true" : "false",
+                report.tracing_compiled ? "true" : "false");
   out << buffer;
+  if (!report.metrics_json.empty()) {
+    out << ",\n  \"metrics\": {\n" << report.metrics_json << "\n  }";
+  }
+  out << "\n}\n";
   return static_cast<bool>(out);
 }
 

@@ -20,6 +20,11 @@ struct BenchReport {
   double parallel_wall_s = 0.0;
   double speedup = 1.0;          // sequential / parallel
   bool bit_identical = true;     // parallel results byte-equal to sequential
+  bool tracing_compiled = true;  // DISTSCROLL_TRACING at build time
+  /// Pre-rendered `"name": value` lines for the nested "metrics" object
+  /// (obs::MetricsRegistry::to_json_fields(4); util cannot link obs).
+  /// Empty = no metrics block emitted.
+  std::string metrics_json;
 };
 
 /// Writes `BENCH_<report.name>.json` in the working directory.

@@ -34,7 +34,14 @@ void ArqSender::pump() {
     pending.needs_tx = false;
     ++pending.attempts;
     ++transmissions_;
-    if (pending.attempts > 1) ++retransmissions_;
+    if (pending.attempts > 1) {
+      ++retransmissions_;
+      DS_TRACE(tracer_, obs::EventKind::ArqRetry, pending.frame.seq,
+               static_cast<std::uint32_t>(pending.attempts));
+    } else {
+      DS_TRACE(tracer_, obs::EventKind::ArqTx, pending.frame.seq,
+               static_cast<std::uint32_t>(pending.wire.size()));
+    }
     arm_timer(pending);
   }
 }
@@ -54,6 +61,8 @@ void ArqSender::on_timeout(std::uint8_t seq, std::uint64_t epoch) {
   if (it == queue_.end()) return;  // acked (or already dropped): stale timer
   if (it->attempts >= config_.max_attempts) {
     ++drops_retry_exhausted_;
+    DS_TRACE(tracer_, obs::EventKind::ArqDrop, seq,
+             static_cast<std::uint32_t>(it->attempts));
     if (drop_callback_) drop_callback_(seq);
     queue_.erase(it);
   } else {
@@ -121,6 +130,8 @@ void ArqReceiver::on_frame(const Frame& frame) {
     return;
   }
   ++frames_delivered_;
+  DS_TRACE(tracer_, obs::EventKind::ArqRx, frame.seq,
+           static_cast<std::uint32_t>(frame.payload.size()));
   if (frame_sink_) frame_sink_(frame);
 }
 

@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "util/units.h"
 #include "wireless/packet.h"
@@ -65,6 +66,9 @@ class ArqSender {
   void set_wire_sink(WireSink sink) { wire_sink_ = std::move(sink); }
   void set_ack_callback(AckCallback cb) { ack_callback_ = std::move(cb); }
   void set_drop_callback(DropCallback cb) { drop_callback_ = std::move(cb); }
+  /// Structured tracing of the retransmit machinery (ArqTx / ArqRetry /
+  /// ArqDrop). Null detaches; tracing must never change behaviour.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Queue a frame for reliable delivery. Returns false (and counts the
   /// drop) when the bounded queue is full.
@@ -110,6 +114,7 @@ class ArqSender {
 
   ArqConfig config_;
   sim::EventQueue* events_;
+  obs::Tracer* tracer_ = nullptr;
   WireSink wire_sink_;
   AckCallback ack_callback_;
   DropCallback drop_callback_;
@@ -134,6 +139,8 @@ class ArqReceiver {
 
   void set_frame_sink(FrameSink sink) { frame_sink_ = std::move(sink); }
   void set_ack_sink(WireSink sink) { ack_sink_ = std::move(sink); }
+  /// Structured tracing of delivered frames (ArqRx). Null detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Forward-channel bytes off the RF link.
   void on_byte(std::uint8_t byte);
@@ -151,6 +158,7 @@ class ArqReceiver {
   FrameDecoder decoder_;
   FrameSink frame_sink_;
   WireSink ack_sink_;
+  obs::Tracer* tracer_ = nullptr;
   bool any_received_ = false;
   std::uint8_t highest_seq_ = 0;
   std::uint64_t seen_mask_ = 0;  // bit i set = (highest_seq_ - i) seen

@@ -10,41 +10,9 @@
 
 namespace distscroll::wireless {
 
-// --- LatencyHistogram -------------------------------------------------------
-
-void LatencyHistogram::record(double seconds) {
-  ++count_;
-  std::size_t bucket = 0;
-  if (seconds > kFirstBucketSeconds) {
-    bucket = static_cast<std::size_t>(std::floor(std::log2(seconds / kFirstBucketSeconds))) + 1;
-    bucket = std::min(bucket, kBuckets - 1);
-  }
-  ++buckets_[bucket];
-}
-
-double LatencyHistogram::bucket_low_s(std::size_t i) {
-  return (i == 0) ? 0.0 : kFirstBucketSeconds * std::pow(2.0, static_cast<double>(i - 1));
-}
-
-std::string LatencyHistogram::render(int bar_width) const {
-  std::string out;
-  const std::uint64_t peak =
-      std::max<std::uint64_t>(1, *std::max_element(buckets_.begin(), buckets_.end()));
-  char line[160];
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    if (buckets_[i] == 0) continue;
-    const int bar = static_cast<int>(
-        (buckets_[i] * static_cast<std::uint64_t>(bar_width) + peak - 1) / peak);
-    std::snprintf(line, sizeof(line), "  %8.2f ms | %-*s %llu\n", bucket_low_s(i) * 1e3,
-                  bar_width, std::string(static_cast<std::size_t>(bar), '#').c_str(),
-                  static_cast<unsigned long long>(buckets_[i]));
-    out += line;
-  }
-  if (out.empty()) out = "  (no samples)\n";
-  return out;
-}
-
 // --- LinkStats --------------------------------------------------------------
+
+LinkStats::LinkStats() : latency_hist_(&registry_.histogram("arq_delivery_latency")) {}
 
 void LinkStats::sample(const RfLink* link, const FrameDecoder* decoder, const ArqSender* sender,
                        const ArqReceiver* receiver, const HostLogger* logger) {
@@ -76,11 +44,31 @@ void LinkStats::sample(const RfLink* link, const FrameDecoder* decoder, const Ar
     counters_.logged_frames = logger->frames_received();
     counters_.sequence_gaps = logger->sequence_gaps();
   }
+  // Republish the snapshot into the registry (cold path; the lookups
+  // find-or-create by name).
+  registry_.counter("bytes_sent").set(counters_.bytes_sent);
+  registry_.counter("bytes_lost").set(counters_.bytes_lost);
+  registry_.counter("bytes_corrupted").set(counters_.bytes_corrupted);
+  registry_.counter("frames_decoded").set(counters_.frames_decoded);
+  registry_.counter("crc_errors").set(counters_.crc_errors);
+  registry_.counter("framing_errors").set(counters_.framing_errors);
+  registry_.counter("resyncs").set(counters_.resyncs);
+  registry_.counter("arq_accepted").set(counters_.arq_accepted);
+  registry_.counter("arq_transmissions").set(counters_.arq_transmissions);
+  registry_.counter("arq_retransmissions").set(counters_.arq_retransmissions);
+  registry_.counter("arq_acks").set(counters_.arq_acks);
+  registry_.counter("arq_drops_queue_full").set(counters_.arq_drops_queue_full);
+  registry_.counter("arq_drops_retry_exhausted").set(counters_.arq_drops_retry_exhausted);
+  registry_.counter("arq_delivered").set(counters_.delivered);
+  registry_.counter("arq_duplicates_discarded").set(counters_.duplicates_discarded);
+  registry_.counter("arq_acks_sent").set(counters_.acks_sent);
+  registry_.counter("logged_frames").set(counters_.logged_frames);
+  registry_.counter("sequence_gaps").set(counters_.sequence_gaps);
 }
 
 void LinkStats::record_delivery_latency(double seconds) {
   latencies_.push_back(seconds);
-  histogram_.record(seconds);
+  latency_hist_->record(seconds);
 }
 
 void LinkStats::record_attempts(int transmissions) {
@@ -141,7 +129,7 @@ std::string LinkStats::report() const {
                   latencies_.size(), latency_percentile(0.50) * 1e3,
                   latency_percentile(0.99) * 1e3, latency_summary().max * 1e3);
     out += line;
-    out += histogram_.render();
+    out += latency_hist_->render();
   }
   return out;
 }

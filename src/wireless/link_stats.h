@@ -8,13 +8,19 @@
 // the event (the ARQ ack callback, the bench's delivery probe) and
 // summarised through util::stats percentiles plus a log-bucketed ASCII
 // histogram for the bench output.
+//
+// The instruments live on an obs::MetricsRegistry: the delivery-latency
+// histogram is an obs::Histogram with the default (0.5 ms log₂, ms
+// display) config — bucket math and rendering byte-identical to the
+// LatencyHistogram class this replaced — and sample() republishes every
+// counter into the registry so one snapshot serialises the whole link.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace distscroll::wireless {
@@ -25,30 +31,10 @@ class ArqSender;
 class ArqReceiver;
 class HostLogger;
 
-/// Log₂-bucketed histogram for delivery latencies: bucket i covers
-/// [0.5 ms · 2^i, 0.5 ms · 2^(i+1)), 16 buckets reaching ~16 s, with
-/// under/overflow folded into the end buckets.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 16;
-  static constexpr double kFirstBucketSeconds = 0.5e-3;
-
-  void record(double seconds);
-
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
-  [[nodiscard]] static double bucket_low_s(std::size_t i);
-
-  /// Multi-line "bucket range | bar | count" rendering.
-  [[nodiscard]] std::string render(int bar_width = 40) const;
-
- private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-};
-
 class LinkStats {
  public:
+  LinkStats();
+
   /// Counter snapshot across the pipeline; zeros for absent components.
   struct Counters {
     // RfLink
@@ -92,7 +78,11 @@ class LinkStats {
   [[nodiscard]] util::Summary latency_summary() const { return util::summarize(latencies_); }
   [[nodiscard]] double mean_attempts() const;
   [[nodiscard]] double max_attempts() const;
-  [[nodiscard]] const LatencyHistogram& latency_histogram() const { return histogram_; }
+  [[nodiscard]] const obs::Histogram& latency_histogram() const { return *latency_hist_; }
+
+  /// The backing registry (latency histogram plus, after sample(), all
+  /// pipeline counters) — snapshot with metrics().to_json_fields().
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return registry_; }
 
   /// Human-readable dump (counters + latency histogram) for benches.
   [[nodiscard]] std::string report() const;
@@ -101,7 +91,8 @@ class LinkStats {
   Counters counters_{};
   std::vector<double> latencies_;
   std::vector<double> attempts_;
-  LatencyHistogram histogram_;
+  obs::MetricsRegistry registry_;
+  obs::Histogram* latency_hist_;  // registry-owned; looked up once
 };
 
 }  // namespace distscroll::wireless

@@ -1,0 +1,112 @@
+// Golden-trace regression harness.
+//
+// The canonical scripted phone-menu session (obs/replay.h) is recorded
+// once into tests/golden/canonical_phone_menu.trace and byte-compared on
+// every run. Any behavioural drift in the firmware tick, the scroll
+// controller, the island mapper or the menu layer shows up here as the
+// first diverging event, with a field-level diagnosis from
+// obs::compare_traces.
+//
+// Regenerating after an INTENTIONAL behaviour change (review the JSONL
+// diff before committing):
+//
+//   DISTSCROLL_REGEN_GOLDEN=1 ./build/tests/test_golden_trace
+//
+// which rewrites the .trace artifact in the source tree (path baked in
+// via DISTSCROLL_GOLDEN_DIR).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/replay.h"
+#include "obs/trace_io.h"
+#include "obs/tracer.h"
+
+namespace {
+
+using namespace distscroll;
+
+const std::string kGoldenPath =
+    std::string(DISTSCROLL_GOLDEN_DIR) + "/canonical_phone_menu.trace";
+
+bool regen_requested() {
+  const char* env = std::getenv("DISTSCROLL_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+class GoldenTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::Tracer::compiled_in()) {
+      GTEST_SKIP() << "tracing compiled out (DISTSCROLL_TRACING=OFF)";
+    }
+    if (regen_requested()) {
+      const obs::Trace fresh = obs::record_canonical_session();
+      ASSERT_TRUE(obs::write_trace(kGoldenPath, fresh))
+          << "cannot write " << kGoldenPath;
+      ASSERT_TRUE(obs::write_jsonl_file(kGoldenPath + ".jsonl", fresh));
+    }
+  }
+};
+
+TEST_F(GoldenTrace, RecordedSessionMatchesGoldenByteForByte) {
+  const auto golden = obs::read_trace(kGoldenPath);
+  ASSERT_TRUE(golden.has_value())
+      << "missing/corrupt golden artifact " << kGoldenPath
+      << " — regenerate with DISTSCROLL_REGEN_GOLDEN=1";
+
+  const obs::Trace recorded = obs::record_canonical_session();
+  const obs::CompareResult cmp = obs::compare_traces(*golden, recorded);
+  EXPECT_TRUE(cmp.match) << "first divergence at event " << cmp.first_divergence
+                         << ": " << cmp.detail;
+  // compare_traces is documented equivalent to byte equality — hold it
+  // to that.
+  EXPECT_EQ(obs::serialize(*golden), obs::serialize(recorded));
+}
+
+TEST_F(GoldenTrace, GoldenReplaysByteForByte) {
+  const auto golden = obs::read_trace(kGoldenPath);
+  ASSERT_TRUE(golden.has_value());
+
+  const obs::Trace replayed = obs::replay_device_trace(*golden);
+  const obs::CompareResult cmp = obs::compare_traces(*golden, replayed);
+  EXPECT_TRUE(cmp.match) << "replay diverged at event " << cmp.first_divergence
+                         << ": " << cmp.detail;
+}
+
+TEST_F(GoldenTrace, GoldenSurvivesSerializeRoundTrip) {
+  const auto golden = obs::read_trace(kGoldenPath);
+  ASSERT_TRUE(golden.has_value());
+
+  const auto bytes = obs::serialize(*golden);
+  const auto reparsed = obs::deserialize(bytes);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*golden, *reparsed);
+  EXPECT_EQ(bytes, obs::serialize(*reparsed));
+}
+
+TEST_F(GoldenTrace, CanonicalSessionIsNonTrivial) {
+  const auto golden = obs::read_trace(kGoldenPath);
+  ASSERT_TRUE(golden.has_value());
+  EXPECT_EQ(golden->session_id, obs::kCanonicalPhoneMenuSession);
+  EXPECT_EQ(golden->dropped, 0u);
+  // The scripted session must actually exercise the device: samples,
+  // presses, cursor motion and display traffic all present.
+  std::size_t adc = 0, edges = 0, moves = 0, flushes = 0;
+  for (const obs::TraceEvent& event : golden->events) {
+    switch (event.kind) {
+      case obs::EventKind::AdcRead: ++adc; break;
+      case obs::EventKind::ButtonEdge: ++edges; break;
+      case obs::EventKind::CursorMove: ++moves; break;
+      case obs::EventKind::DisplayFlush: ++flushes; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(adc, 100u);
+  EXPECT_GE(edges, 8u);    // 4 scripted presses = 8 debounced edges
+  EXPECT_GT(moves, 10u);
+  EXPECT_GT(flushes, 10u);
+}
+
+}  // namespace

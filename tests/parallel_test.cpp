@@ -7,11 +7,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "core/distscroll_device.h"
+#include "menu/phone_menu.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/thread_pool.h"
@@ -158,6 +162,105 @@ TEST(SweepRunner, CsvBytesIdenticalAcrossThreadCounts) {
 TEST(SweepRunner, ThreadsResolveFromEnvironment) {
   // Explicit request wins over everything.
   EXPECT_EQ(study::resolve_sweep_threads(3), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing must not perturb behaviour (the obs determinism contract)
+
+struct DeviceCellOut {
+  std::size_t cursor_index = 0;
+  std::size_t cursor_depth = 0;
+  std::uint64_t mcu_cycles = 0;
+  std::uint64_t redraws = 0;
+  std::uint64_t frames_written = 0;
+  std::uint64_t controller_changes = 0;
+
+  friend bool operator==(const DeviceCellOut&, const DeviceCellOut&) = default;
+};
+
+// A full device session per cell; `traced` only toggles whether a tracer
+// observes it. The outputs must be unaffected.
+DeviceCellOut device_session_cell(std::size_t index, sim::Rng rng, bool traced) {
+  auto menu_root = menu::make_phone_menu();
+  sim::EventQueue queue;
+  core::DistScrollDevice::Config config;
+  core::DistScrollDevice device(config, *menu_root, queue, std::move(rng));
+  obs::Tracer tracer(1 << 14, obs::kCatAll);
+  if (traced) device.attach_tracer(&tracer);
+  const double base = 10.0 + static_cast<double>(index % 7) * 2.0;
+  device.set_distance_provider([base](util::Seconds now) {
+    return util::Centimeters{base + 6.0 * std::sin(now.value * 2.3)};
+  });
+  device.power_on();
+  queue.schedule_at(util::Seconds{0.5}, [&] { device.select_button().press(); });
+  queue.schedule_at(util::Seconds{0.58}, [&] { device.select_button().release(); });
+  queue.run_until(util::Seconds{1.0});
+  DeviceCellOut out;
+  out.cursor_index = device.cursor().index();
+  out.cursor_depth = device.cursor().depth();
+  out.mcu_cycles = device.board().mcu().cycles();
+  out.redraws = device.redraws();
+  out.frames_written = device.top_display().frames_written();
+  out.controller_changes = device.controller().selection_changes();
+  return out;
+}
+
+TEST(TracingProperty, SweepResultsIdenticalTracedOrNot) {
+  constexpr std::size_t kCells = 12;
+  constexpr std::uint64_t kSeed = 0xD15C0;
+  std::vector<DeviceCellOut> runs[4];
+  std::size_t slot = 0;
+  for (const bool traced : {false, true}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      study::SweepConfig config;
+      config.threads = threads;
+      config.base_seed = kSeed;
+      runs[slot++] = study::SweepRunner(config).run<DeviceCellOut>(
+          kCells, [traced](std::size_t index, sim::Rng rng) {
+            return device_session_cell(index, std::move(rng), traced);
+          });
+    }
+  }
+  ASSERT_EQ(runs[0].size(), kCells);
+  EXPECT_GT(runs[0][0].mcu_cycles, 0u);  // the sessions actually ran
+  EXPECT_TRUE(runs[1] == runs[0]) << "untraced diverged across thread counts";
+  EXPECT_TRUE(runs[2] == runs[0]) << "tracing perturbed device behaviour";
+  EXPECT_TRUE(runs[3] == runs[0]) << "tracing perturbed 8-thread sweep";
+}
+
+TEST(TracingProperty, CsvBytesIdenticalTracedOrNot) {
+  // The end-to-end bench shape: sweep -> CSV file. The bytes on disk
+  // must not depend on whether a tracer was watching, at any thread
+  // count.
+  auto emit = [](bool traced, std::size_t threads, const std::string& path) {
+    study::SweepConfig config;
+    config.threads = threads;
+    config.base_seed = 77;
+    const auto cells = study::SweepRunner(config).run<DeviceCellOut>(
+        8, [traced](std::size_t index, sim::Rng rng) {
+          return device_session_cell(index, std::move(rng), traced);
+        });
+    util::CsvWriter csv(path, {"cell", "cursor", "depth", "cycles", "redraws"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      csv.row({static_cast<double>(i), static_cast<double>(cells[i].cursor_index),
+               static_cast<double>(cells[i].cursor_depth),
+               static_cast<double>(cells[i].mcu_cycles),
+               static_cast<double>(cells[i].redraws)});
+    }
+  };
+  const std::string untraced = "tracing_property_off.csv";
+  const std::string traced1 = "tracing_property_on_1t.csv";
+  const std::string traced8 = "tracing_property_on_8t.csv";
+  emit(false, 1, untraced);
+  emit(true, 1, traced1);
+  emit(true, 8, traced8);
+  const std::string reference = slurp(untraced);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference, slurp(traced1));
+  EXPECT_EQ(reference, slurp(traced8));
+  std::remove(untraced.c_str());
+  std::remove(traced1.c_str());
+  std::remove(traced8.c_str());
 }
 
 // ---------------------------------------------------------------------------
