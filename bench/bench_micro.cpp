@@ -11,16 +11,22 @@
 // GestureWrist/FreeDigiter-class recognisers need).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "core/distscroll_device.h"
 #include "core/island_mapper.h"
 #include "core/scroll_controller.h"
 #include "display/bt96040.h"
 #include "display/display_driver.h"
+#include "hw/adc.h"
 #include "menu/menu_builder.h"
+#include "menu/phone_menu.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "sensors/gp2d120.h"
 #include "hw/scheduler.h"
 #include "sim/event_queue.h"
+#include "study/device_pool.h"
 #include "study/sweep_runner.h"
 #include "util/crc.h"
 #include "wireless/packet.h"
@@ -29,7 +35,9 @@ using namespace distscroll;
 
 namespace {
 
-void BM_IslandLookup(benchmark::State& state) {
+/// The binary-search reference lookup (the pre-LUT hot path, kept as
+/// the oracle). Compare against BM_IslandLookupLut below.
+void BM_IslandLookupSearch(benchmark::State& state) {
   core::SensorCurve curve;
   core::IslandMapper mapper(curve, static_cast<std::size_t>(state.range(0)), {});
   std::uint16_t counts = 100;
@@ -38,9 +46,68 @@ void BM_IslandLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(mapper.lookup(util::AdcCounts{counts}));
   }
   state.counters["pic_cycles_per_lookup"] =
+      static_cast<double>(mapper.search_cost_cycles());
+}
+BENCHMARK(BM_IslandLookupSearch)->Arg(5)->Arg(10)->Arg(26)->Arg(64);
+
+/// The O(1) counts->island LUT the firmware hot path now probes. Same
+/// count stream as the search variant; the time per lookup should be
+/// flat in the entry count, and the PIC cycle counter drops from
+/// ~9+7*log2(N) to a constant table fetch.
+void BM_IslandLookupLut(benchmark::State& state) {
+  core::SensorCurve curve;
+  core::IslandMapper mapper(curve, static_cast<std::size_t>(state.range(0)), {});
+  std::uint16_t counts = 100;
+  for (auto _ : state) {
+    counts = static_cast<std::uint16_t>((counts * 37 + 11) % 1024);
+    benchmark::DoNotOptimize(mapper.lookup_lut(util::AdcCounts{counts}));
+  }
+  state.counters["pic_cycles_per_lookup"] =
       static_cast<double>(mapper.lookup_cost_cycles());
 }
-BENCHMARK(BM_IslandLookup)->Arg(5)->Arg(10)->Arg(26)->Arg(64);
+BENCHMARK(BM_IslandLookupLut)->Arg(5)->Arg(10)->Arg(26)->Arg(64);
+
+/// Session kernel: constructing a full device per sweep cell (Arg 0)
+/// versus recycling one DeviceSession in place (Arg 1) — the pooling
+/// win BENCH jsons track as stage_trial_setup.
+void BM_DeviceConstructVsReset(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  const auto menu_root = menu::make_phone_menu();
+  core::DistScrollDevice::Config config;
+  std::uint64_t seed = 0;
+  if (pooled) {
+    study::DeviceSession session;
+    for (auto _ : state) {
+      auto& device = session.acquire(config, *menu_root, sim::Rng(++seed));
+      benchmark::DoNotOptimize(device.cursor().index());
+    }
+  } else {
+    for (auto _ : state) {
+      sim::EventQueue queue;
+      core::DistScrollDevice device(config, *menu_root, queue, sim::Rng(++seed));
+      benchmark::DoNotOptimize(device.cursor().index());
+    }
+  }
+}
+BENCHMARK(BM_DeviceConstructVsReset)->Arg(0)->Arg(1);
+
+/// The delegate-based sampling chain: ADC conversion through a
+/// FunctionRef analog source into the GP2D120 model — the per-tick cost
+/// the firmware pays, with no std::function indirection left in it.
+void BM_AdcSampleChain(benchmark::State& state) {
+  hw::Adc10 adc({}, sim::Rng(7));
+  sensors::Gp2d120Model sensor({}, sim::Rng(8));
+  auto source = [&](util::Seconds now) {
+    return sensor.output(util::Centimeters{15.0 + 5.0 * std::sin(now.value)}, now);
+  };
+  const auto channel = adc.attach(source);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    benchmark::DoNotOptimize(adc.sample(channel, util::Seconds{t}));
+  }
+}
+BENCHMARK(BM_AdcSampleChain);
 
 void BM_ScrollControllerSample(benchmark::State& state) {
   core::SensorCurve curve;

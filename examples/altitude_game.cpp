@@ -29,8 +29,9 @@ int main() {
   hw::Adc10 adc({}, rng.fork(2));
   core::SensorCurve curve;
   human::HandModel hand({}, rng.fork(3), 17.0);
-  const auto channel =
-      adc.attach([&](util::Seconds now) { return ranger.output(hand.distance(now), now); });
+  // AnalogSource is non-owning: keep the callable alive alongside the ADC.
+  auto ranger_source = [&](util::Seconds now) { return ranger.output(hand.distance(now), now); };
+  const auto channel = adc.attach(ranger_source);
 
   display::Bt96040 panel;
   game::AltitudeGame game({}, rng.fork(4));

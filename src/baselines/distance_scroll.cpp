@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stage_timer.h"
+
 namespace distscroll::baselines {
 
-DistanceScroll::DistanceScroll(Config config, sim::Rng rng) : config_(config), rng_(rng) {
-  ranger_ = std::make_unique<sensors::Gp2d120Model>(config_.sensor, rng_.fork(1));
+DistanceScroll::DistanceScroll(Config config, sim::Rng rng)
+    : config_(config),
+      rng_(rng),
+      ranger_(config_.sensor, rng_.fork(1)),
+      mapper_(config_.curve, 1, config_.islands),
+      controller_(mapper_, config_.scroll) {
   reset(1, 0);
 }
 
@@ -21,10 +27,14 @@ ControlSpec DistanceScroll::spec() const {
 }
 
 void DistanceScroll::reset(std::size_t level_size, std::size_t start_index) {
-  ranger_->reset();  // trial clocks restart at zero
+  ranger_.reset();  // trial clocks restart at zero
   level_size_ = std::max<std::size_t>(1, level_size);
-  mapper_ = std::make_unique<core::IslandMapper>(config_.curve, level_size_, config_.islands);
-  controller_ = std::make_unique<core::ScrollController>(*mapper_, config_.scroll);
+  // The island table is a pure function of (curve, level size, config):
+  // reuse it across same-size trials instead of recomputing per trial.
+  if (mapper_.entries() != level_size_) {
+    mapper_.rebuild(config_.curve, level_size_, config_.islands);
+  }
+  controller_.reinitialize(config_.scroll);
   cursor_ = std::min(start_index, level_size_ - 1);
   next_tick_s_ = 0.0;
 }
@@ -35,12 +45,17 @@ void DistanceScroll::on_control(util::Seconds now, double u) {
   if (now.value < next_tick_s_) return;
   next_tick_s_ = now.value + config_.firmware_tick.value;
 
-  const util::Volts v = ranger_->output(util::Centimeters{u}, now);
-  double counts = v.value / config_.curve.params().vref * 1023.0;
-  counts += rng_.gaussian(0.0, config_.adc_noise_lsb);
-  counts = std::clamp(counts, 0.0, 1023.0);
-  const auto update =
-      controller_->on_sample(util::AdcCounts{static_cast<std::uint16_t>(std::lround(counts))});
+  util::AdcCounts sampled{0};
+  {
+    DS_STAGE(AdcSample);
+    const util::Volts v = ranger_.output(util::Centimeters{u}, now);
+    double counts = v.value / config_.curve.params().vref * 1023.0;
+    counts += rng_.gaussian(0.0, config_.adc_noise_lsb);
+    counts = std::clamp(counts, 0.0, 1023.0);
+    sampled = util::AdcCounts{static_cast<std::uint16_t>(std::lround(counts))};
+  }
+  DS_STAGE(Controller);
+  const auto update = controller_.on_sample(sampled);
   if (update.menu_index) cursor_ = std::min(*update.menu_index, level_size_ - 1);
 }
 
@@ -53,12 +68,12 @@ std::size_t DistanceScroll::island_of_menu_index(std::size_t menu_index) const {
 
 std::optional<double> DistanceScroll::target_u(std::size_t target) const {
   if (target >= level_size_) return std::nullopt;
-  return mapper_->centre_distance(island_of_menu_index(target)).value;
+  return mapper_.centre_distance(island_of_menu_index(target)).value;
 }
 
 double DistanceScroll::target_width_u(std::size_t target) const {
   if (target >= level_size_) return 0.1;
-  const auto& island = mapper_->islands()[island_of_menu_index(target)];
+  const auto& island = mapper_.islands()[island_of_menu_index(target)];
   // Convert the island's count bounds back to distances; the width in cm
   // is what the user must hit.
   const double d_low = config_.curve.distance_at(util::AdcCounts{island.high}).value;

@@ -39,16 +39,20 @@ class DistanceScroll final : public ScrollTechnique {
   /// Gross arm movement + one thumb button: nearly glove-insensitive.
   [[nodiscard]] double glove_sensitivity() const override { return 0.15; }
 
-  [[nodiscard]] const core::IslandMapper& mapper() const { return *mapper_; }
+  [[nodiscard]] const core::IslandMapper& mapper() const { return mapper_; }
 
  private:
   [[nodiscard]] std::size_t island_of_menu_index(std::size_t menu_index) const;
 
   Config config_;
   sim::Rng rng_;
-  std::unique_ptr<sensors::Gp2d120Model> ranger_;
-  std::unique_ptr<core::IslandMapper> mapper_;
-  std::unique_ptr<core::ScrollController> controller_;
+  // Direct members, rebuilt in place by reset(): run_trial() resets the
+  // technique before EVERY trial, and three heap reconstructions per
+  // trial dominated the per-trial setup cost. The island table is only
+  // recomputed when the level size actually changes.
+  sensors::Gp2d120Model ranger_;
+  core::IslandMapper mapper_;
+  core::ScrollController controller_;
   std::size_t level_size_ = 1;
   std::size_t cursor_ = 0;
   double next_tick_s_ = 0.0;

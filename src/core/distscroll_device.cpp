@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/stage_timer.h"
+
 namespace distscroll::core {
 
 namespace {
@@ -12,6 +14,12 @@ constexpr std::uint8_t kBottomDisplayAddress = 0x3D;
 constexpr std::uint64_t kAdcCycles = 440;
 constexpr std::uint64_t kButtonScanCycles = 12;
 constexpr std::uint64_t kRedrawCycles = 900;  // formatting + I2C byte pumping
+constexpr double kRangerDrawMa = 33.0;        // GP2D120 typ. supply current
+
+// Default providers until the study wires a hand/posture model in: the
+// device rests at a mid-range distance, held level.
+util::Centimeters default_distance(util::Seconds) { return util::Centimeters{17.0}; }
+util::Radians default_tilt(util::Seconds) { return util::Radians{0.0}; }
 }  // namespace
 
 DistScrollDevice::DistScrollDevice(Config config, const menu::MenuNode& menu_root,
@@ -20,62 +28,68 @@ DistScrollDevice::DistScrollDevice(Config config, const menu::MenuNode& menu_roo
       queue_(&queue),
       board_(config.board, queue, rng.fork(1)),
       ranger_(config.sensor, rng.fork(2)),
+      secondary_ranger_(config.sensor, rng.fork(20)),
       accel_(config.accel, rng.fork(3)),
       top_driver_(board_.i2c(), kTopDisplayAddress),
       bottom_driver_(board_.i2c(), kBottomDisplayAddress),
       pot_({}, rng.fork(4)),
       menu_root_(&menu_root),
-      cursor_(menu_root) {
-  // --- wire the add-on board --------------------------------------------
+      cursor_(menu_root),
+      mapper_(config.curve, 1, config.islands),
+      controller_(mapper_, config.scroll) {
+  // --- one-time wiring (per board object, survives session resets) ------
   board_.i2c().attach(kTopDisplayAddress, &top_panel_);
   board_.i2c().attach(kBottomDisplayAddress, &bottom_panel_);
 
-  distance_provider_ = [](util::Seconds) { return util::Centimeters{17.0}; };
-  tilt_provider_ = [](util::Seconds) { return util::Radians{0.0}; };
-
-  ranger_channel_ = board_.adc().attach(
-      [this](util::Seconds now) { return ranger_.output(distance_provider_(now), now); });
-  accel_x_channel_ = board_.adc().attach(
-      [this](util::Seconds now) { return accel_.output_x(tilt_provider_(now)); });
-  accel_y_channel_ = board_.adc().attach(
-      [this](util::Seconds) { return accel_.output_y(util::Radians{0.0}); });
-  pot_channel_ = board_.adc().attach([this](util::Seconds) { return pot_.output(); });
+  // All five ADC channels are wired unconditionally — the parts are on
+  // the board whether or not a session's config samples them, and an
+  // unsampled channel draws nothing from the noise stream. The sources
+  // are non-owning delegates: context is the device itself.
+  ranger_channel_ = board_.adc().attach(hw::AnalogSource(this, [](void* ctx, util::Seconds now) {
+    auto* self = static_cast<DistScrollDevice*>(ctx);
+    return self->ranger_.output(self->distance_provider_(now), now);
+  }));
+  accel_x_channel_ = board_.adc().attach(hw::AnalogSource(this, [](void* ctx, util::Seconds now) {
+    auto* self = static_cast<DistScrollDevice*>(ctx);
+    return self->accel_.output_x(self->tilt_provider_(now));
+  }));
+  accel_y_channel_ = board_.adc().attach(hw::AnalogSource(this, [](void* ctx, util::Seconds) {
+    return static_cast<DistScrollDevice*>(ctx)->accel_.output_y(util::Radians{0.0});
+  }));
+  pot_channel_ = board_.adc().attach(hw::AnalogSource(this, [](void* ctx, util::Seconds) {
+    return static_cast<DistScrollDevice*>(ctx)->pot_.output();
+  }));
+  // The second GP2D120, recessed by offset_cm in the case: it sees the
+  // same target farther away, always on the monotone branch.
+  secondary_channel_ = board_.adc().attach(hw::AnalogSource(this, [](void* ctx, util::Seconds now) {
+    auto* self = static_cast<DistScrollDevice*>(ctx);
+    const double d = self->distance_provider_(now).value + self->config_.dual_sensor.offset_cm;
+    return self->secondary_ranger_.output(util::Centimeters{d}, now);
+  }));
 
   for (std::size_t pin = 0; pin < 3; ++pin) {
     buttons_.push_back(
         std::make_unique<input::Button>(config_.button, board_.gpio(), pin, queue, rng.fork(10 + pin)));
     debouncers_.emplace_back();
+    button_ctx_[pin] = ButtonCtx{this, pin};
   }
   // All debounced edges funnel through on_button_edge: one place that
   // traces the edge and dispatches per the configured layout — and the
   // same entry point trace replay injects recorded edges into.
   for (std::size_t i = 0; i < debouncers_.size(); ++i) {
-    debouncers_[i].on_press([this, i] { on_button_edge(i, true); });
-    debouncers_[i].on_release([this, i] { on_button_edge(i, false); });
-  }
-
-  if (config_.use_dual_sensor) {
-    // The board's second GP2D120, recessed by offset_cm in the case: it
-    // sees the same target farther away, always on the monotone branch.
-    secondary_ranger_ = std::make_unique<sensors::Gp2d120Model>(config_.sensor, rng.fork(20));
-    secondary_channel_ = board_.adc().attach([this](util::Seconds now) {
-      const double d = distance_provider_(now).value + config_.dual_sensor.offset_cm;
-      return secondary_ranger_->output(util::Centimeters{d}, now);
-    });
-    DualRangeResolver::Config resolver_config = config_.dual_sensor;
-    resolver_config.peak_cm = config_.sensor.peak_cm;
-    resolver_config.dead_zone_volts = config_.sensor.dead_zone_volts;
-    dual_resolver_ =
-        std::make_unique<DualRangeResolver>(config_.curve, config_.curve, resolver_config);
-    board_.mcu().reserve_ram("dual-sensor-state", 16);
-  }
-  if (config_.enable_context_gate) {
-    context_gate_ = std::make_unique<ContextGate>(config_.context_gate);
+    debouncers_[i].on_press(input::Debouncer::Callback(&button_ctx_[i], [](void* ctx) {
+      auto* c = static_cast<ButtonCtx*>(ctx);
+      c->device->on_button_edge(c->index, true);
+    }));
+    debouncers_[i].on_release(input::Debouncer::Callback(&button_ctx_[i], [](void* ctx) {
+      auto* c = static_cast<ButtonCtx*>(ctx);
+      c->device->on_button_edge(c->index, false);
+    }));
   }
 
   // Battery consumers beyond the base board: ranger (GP2D120 typ. 33 mA)
   // and the two displays.
-  sensor_draw_ = board_.battery().add_consumer("gp2d120", 33.0);
+  sensor_draw_ = board_.battery().add_consumer("gp2d120", kRangerDrawMa);
   display_draw_ = board_.battery().add_consumer(
       "displays", top_panel_.current_draw_ma() + bottom_panel_.current_draw_ma());
 
@@ -86,16 +100,101 @@ DistScrollDevice::DistScrollDevice(Config config, const menu::MenuNode& menu_roo
   board_.mcu().reserve_ram("fifos+state", 192);
   board_.mcu().reserve_flash("firmware", 14 * 1024);
 
+  // Everything else is session state; the reset path IS the second half
+  // of construction, so fresh-construct and pooled-reset cannot drift.
+  reset(std::move(config), menu_root, rng);
+}
+
+void DistScrollDevice::reset(Config config, const menu::MenuNode& menu_root, sim::Rng rng) {
+  config_ = std::move(config);
+  board_.reset(config_.board, rng.fork(1));
+  eeprom_.reset();
+  ranger_.reset(config_.sensor, rng.fork(2));
+  secondary_ranger_.reset(config_.sensor, rng.fork(20));
+  accel_.reset(config_.accel, rng.fork(3));
+  top_panel_.reset();
+  bottom_panel_.reset();
+  top_driver_.reset();
+  bottom_driver_.reset();
+  pot_.reset({}, rng.fork(4));
+  for (std::size_t pin = 0; pin < buttons_.size(); ++pin) {
+    buttons_[pin]->reset(config_.button, rng.fork(10 + pin));
+  }
+  for (auto& debouncer : debouncers_) debouncer.reset({});
+
+  if (config_.use_dual_sensor) {
+    DualRangeResolver::Config resolver_config = config_.dual_sensor;
+    resolver_config.peak_cm = config_.sensor.peak_cm;
+    resolver_config.dead_zone_volts = config_.sensor.dead_zone_volts;
+    dual_resolver_.emplace(config_.curve, config_.curve, resolver_config);
+    if (!has_dual_ram_) {
+      board_.mcu().reserve_ram("dual-sensor-state", 16);
+      has_dual_ram_ = true;
+    }
+  } else {
+    dual_resolver_.reset();
+  }
+  if (config_.enable_context_gate) {
+    context_gate_.emplace(config_.context_gate);
+  } else {
+    context_gate_.reset();
+  }
+
+  menu_root_ = &menu_root;
+  cursor_.rebind(menu_root);
+
+  distance_owner_ = nullptr;
+  tilt_owner_ = nullptr;
+  distance_provider_ = DistanceProvider(default_distance);
+  tilt_provider_ = TiltProvider(default_tilt);
+  counts_override_ = nullptr;
+  tracer_ = nullptr;
+  controller_.set_tracer(nullptr);
+
+  // Restore the draws the previous session may have duty-cycled down or
+  // re-trimmed (contrast pot path).
+  board_.battery().set_draw(sensor_draw_, kRangerDrawMa);
+  board_.battery().set_draw(display_draw_,
+                            top_panel_.current_draw_ma() + bottom_panel_.current_draw_ma());
+
+  powered_ = false;
+  browned_out_ = false;
+  calibrated_from_eeprom_ = false;
+  firmware_timer_ = 0;
+  button_timer_ = 0;
+  ticks_since_telemetry_ = 0;
+  sensor_idle_ = false;
+  ticks_since_sample_ = 0;
+  last_activity_s_ = 0.0;
+  select_pressed_at_s_ = -1.0;
+  telemetry_seq_ = 0;
+  last_counts_ = util::AdcCounts{0};
+  redraws_ = 0;
+  selections_.clear();
+  leaf_callback_ = nullptr;
+
   rebuild_mapping();
 }
 
 void DistScrollDevice::set_distance_provider(
     std::function<util::Centimeters(util::Seconds)> provider) {
-  distance_provider_ = std::move(provider);
+  distance_owner_ = std::move(provider);
+  distance_provider_ = DistanceProvider(distance_owner_);
+}
+
+void DistScrollDevice::set_distance_provider_ref(DistanceProvider provider) {
+  distance_owner_ = nullptr;
+  distance_provider_ = provider;
 }
 
 void DistScrollDevice::set_tilt_provider(std::function<util::Radians(util::Seconds)> provider) {
-  tilt_provider_ = std::move(provider);
+  tilt_owner_ = std::move(provider);
+  tilt_provider_ = TiltProvider(tilt_owner_);
+}
+
+void DistScrollDevice::set_tilt_provider_ref(TiltProvider provider) {
+  tilt_owner_ = nullptr;
+  tilt_provider_ = provider;
 }
 
 void DistScrollDevice::set_surface(sensors::SurfaceProfile surface) {
@@ -106,7 +205,7 @@ void DistScrollDevice::attach_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
   if (tracer_ != nullptr) tracer_->bind_clock(*queue_);
   ranger_.set_tracer(tracer);
-  if (controller_) controller_->set_tracer(tracer);
+  controller_.set_tracer(tracer);
 }
 
 void DistScrollDevice::on_button_edge(std::size_t index, bool pressed) {
@@ -169,7 +268,7 @@ void DistScrollDevice::rebuild_mapping() {
       break;
     case LongMenuStrategy::Chunked:
       if (level_size > config_.chunk_size) {
-        chunker_ = std::make_unique<ChunkedScroll>(level_size, config_.chunk_size);
+        chunker_.emplace(level_size, config_.chunk_size);
         chunker_->jump_to_chunk(chunker_->chunk_of(cursor_.index()));
         islands = chunker_->entries_in_chunk();
       }
@@ -177,20 +276,21 @@ void DistScrollDevice::rebuild_mapping() {
     case LongMenuStrategy::SpeedZoom:
       if (level_size > config_.speed_zoom_islands) {
         islands = config_.speed_zoom_islands;
-        zoom_ = std::make_unique<SpeedZoom>(level_size, islands, config_.speed_zoom);
+        zoom_.emplace(level_size, islands, config_.speed_zoom);
       }
       break;
   }
 
-  mapper_ = std::make_unique<IslandMapper>(config_.curve, islands, config_.islands);
-  controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll, tracer_);
+  mapper_.rebuild(config_.curve, islands, config_.islands);
+  controller_.reinitialize(config_.scroll);
+  controller_.set_tracer(tracer_);
   if (config_.enable_fast_scroll) {
     FastScrollMode::Config fs = config_.fast_scroll;
     if (fs.threshold_counts == 0) {
       fs.threshold_counts = static_cast<std::uint16_t>(
-          std::min(1020, mapper_->islands().front().high + 12));
+          std::min(1020, mapper_.islands().front().high + 12));
     }
-    fast_scroll_ = std::make_unique<FastScrollMode>(fs);
+    fast_scroll_.emplace(fs);
   } else {
     fast_scroll_.reset();
   }
@@ -217,8 +317,8 @@ void DistScrollDevice::firmware_tick() {
   bool sample_this_tick = true;
   if (config_.enable_sensor_duty_cycle) {
     sensor_idle_ = (now.value - last_activity_s_) >= config_.idle_after.value;
-    board_.battery().set_draw(sensor_draw_,
-                              sensor_idle_ ? 33.0 / config_.idle_divider : 33.0);
+    board_.battery().set_draw(
+        sensor_draw_, sensor_idle_ ? kRangerDrawMa / config_.idle_divider : kRangerDrawMa);
     if (sensor_idle_ && ++ticks_since_sample_ < config_.idle_divider) {
       sample_this_tick = false;
     }
@@ -227,6 +327,7 @@ void DistScrollDevice::firmware_tick() {
   // --- posture context gate (Section 4.3) --------------------------------
   bool gate_open = true;
   if (context_gate_) {
+    DS_STAGE(Sensor);
     const auto accel_counts = board_.adc().sample(accel_x_channel_, now);
     const auto pitch = accel_.tilt_from_volts(board_.adc().to_volts(accel_counts));
     gate_open = context_gate_->on_sample(now, pitch);
@@ -235,15 +336,18 @@ void DistScrollDevice::firmware_tick() {
 
   if (sample_this_tick) {
     ticks_since_sample_ = 0;
-    // Sample the ranger through the ADC (the MCU busy-waits conversion),
-    // or consume the replay override's recorded counts stream. Cycle
-    // cost is identical either way so replays keep the MCU budget.
-    if (counts_override_) {
-      if (const auto forced = counts_override_()) last_counts_ = *forced;
-    } else {
-      last_counts_ = board_.adc().sample(ranger_channel_, now);
+    {
+      DS_STAGE(AdcSample);
+      // Sample the ranger through the ADC (the MCU busy-waits conversion),
+      // or consume the replay override's recorded counts stream. Cycle
+      // cost is identical either way so replays keep the MCU budget.
+      if (counts_override_) {
+        if (const auto forced = counts_override_()) last_counts_ = *forced;
+      } else {
+        last_counts_ = board_.adc().sample(ranger_channel_, now);
+      }
+      mcu.charge_cycles(kAdcCycles);
     }
-    mcu.charge_cycles(kAdcCycles);
     DS_TRACE(tracer_, obs::EventKind::AdcRead, static_cast<std::uint32_t>(ranger_channel_),
              last_counts_.value);
 
@@ -252,6 +356,7 @@ void DistScrollDevice::firmware_tick() {
     bool fold_zone = false;
     util::AdcCounts effective_counts = last_counts_;
     if (dual_resolver_) {
+      DS_STAGE(Sensor);
       const auto secondary = board_.adc().sample(secondary_channel_, now);
       mcu.charge_cycles(kAdcCycles + 180);  // two inversions + compare
       const auto resolution = dual_resolver_->resolve(last_counts_, secondary);
@@ -288,7 +393,8 @@ void DistScrollDevice::firmware_tick() {
 
     // --- distance -> island -> entry ---------------------------------------
     if (sample_valid && !fold_zone) {
-      const ScrollController::Update update = controller_->on_sample(effective_counts);
+      DS_STAGE(Controller);
+      const ScrollController::Update update = controller_.on_sample(effective_counts);
       mcu.charge_cycles(update.cycles);
       if (update.changed) mark_activity(now);
       if (update.menu_index && gate_open) {
@@ -300,7 +406,7 @@ void DistScrollDevice::firmware_tick() {
           // mapping the controller applied); undo the mapping.
           std::size_t island = *update.menu_index;
           if (config_.scroll.direction == ScrollDirection::TowardUserScrollsDown) {
-            island = mapper_->entries() - 1 - island;
+            island = mapper_.entries() - 1 - island;
           }
           absolute = zoom_->on_update(now, island);
           if (config_.scroll.direction == ScrollDirection::TowardUserScrollsDown) {
@@ -405,13 +511,14 @@ void DistScrollDevice::advance_chunk() {
   if (!chunker_) return;
   if (!chunker_->next_chunk()) chunker_->jump_to_chunk(0);  // wrap around
   const std::size_t islands = chunker_->entries_in_chunk();
-  if (islands != mapper_->entries()) {
+  if (islands != mapper_.entries()) {
     // The last chunk can be short: the island table must match it.
-    mapper_ = std::make_unique<IslandMapper>(config_.curve, islands, config_.islands);
-    controller_ = std::make_unique<ScrollController>(*mapper_, config_.scroll, tracer_);
+    mapper_.rebuild(config_.curve, islands, config_.islands);
+    controller_.reinitialize(config_.scroll);
+    controller_.set_tracer(tracer_);
     board_.mcu().charge_cycles(60 + 220 * islands);
   } else {
-    controller_->reset();
+    controller_.reset();
   }
   cursor_.move_to(chunker_->to_absolute(0));
   DS_TRACE(tracer_, obs::EventKind::CursorMove, static_cast<std::uint32_t>(cursor_.index()),
@@ -420,6 +527,7 @@ void DistScrollDevice::advance_chunk() {
 }
 
 void DistScrollDevice::redraw() {
+  DS_STAGE(Flush);
   ++redraws_;
   board_.mcu().charge_cycles(kRedrawCycles);
   DS_TRACE(tracer_, obs::EventKind::DisplayFlush, static_cast<std::uint32_t>(cursor_.index()),

@@ -10,6 +10,7 @@
 // button which is most conveniently operated with the thumb".
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -36,6 +37,7 @@
 #include "obs/tracer.h"
 #include "sensors/adxl311.h"
 #include "sensors/gp2d120.h"
+#include "util/function_ref.h"
 #include "wireless/packet.h"
 
 namespace distscroll::core {
@@ -90,11 +92,30 @@ class DistScrollDevice {
   DistScrollDevice(Config config, const menu::MenuNode& menu_root, sim::EventQueue& queue,
                    sim::Rng rng);
 
+  /// Session reuse: restore the whole device to the state a freshly
+  /// constructed one would have for the same (config, menu, rng) — in
+  /// place, reusing every buffer and peripheral binding. The owner must
+  /// clear the shared event queue FIRST (study::DeviceSession does).
+  /// The determinism contract: reset(c, m, r) and a fresh
+  /// DistScrollDevice(c, m, q, r) produce bit-identical behaviour;
+  /// pinned by the pooled-vs-fresh property test.
+  void reset(Config config, const menu::MenuNode& menu_root, sim::Rng rng);
+
   // --- the physical situation ------------------------------------------
-  /// The hand holding the device: true body-to-device distance over time.
+  /// Hot-path (per-sample) provider views. Non-owning: the caller keeps
+  /// the callable alive while the device may sample.
+  using DistanceProvider = util::FunctionRef<util::Centimeters(util::Seconds)>;
+  using TiltProvider = util::FunctionRef<util::Radians(util::Seconds)>;
+
+  /// The hand holding the device: true body-to-device distance over
+  /// time. Owning form — a setup-time boundary; the firmware reads it
+  /// through a FunctionRef view on the sampling path.
   void set_distance_provider(std::function<util::Centimeters(util::Seconds)> provider);
+  /// Non-owning form for hot callers that already own a stable callable.
+  void set_distance_provider_ref(DistanceProvider provider);
   /// Device tilt (for the accelerometer; the tilt baselines reuse it).
   void set_tilt_provider(std::function<util::Radians(util::Seconds)> provider);
+  void set_tilt_provider_ref(TiltProvider provider);
   /// What the sensor looks at (clothing, lab coat, reflective vest...).
   void set_surface(sensors::SurfaceProfile surface);
 
@@ -125,8 +146,8 @@ class DistScrollDevice {
   [[nodiscard]] const display::Bt96040& bottom_display() const { return bottom_panel_; }
   [[nodiscard]] hw::SmartIts& board() { return board_; }
   [[nodiscard]] const hw::SmartIts& board() const { return board_; }
-  [[nodiscard]] const IslandMapper& mapper() const { return *mapper_; }
-  [[nodiscard]] const ScrollController& controller() const { return *controller_; }
+  [[nodiscard]] const IslandMapper& mapper() const { return mapper_; }
+  [[nodiscard]] const ScrollController& controller() const { return controller_; }
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::optional<std::size_t> current_chunk() const;
   [[nodiscard]] util::AdcCounts last_counts() const { return last_counts_; }
@@ -194,6 +215,10 @@ class DistScrollDevice {
   hw::SmartIts board_;
   hw::Eeprom eeprom_;
   sensors::Gp2d120Model ranger_;
+  /// The board's second (recessed) GP2D120. The part is always populated
+  /// on the board — always constructed, only sampled when
+  /// config_.use_dual_sensor enables the resolver.
+  sensors::Gp2d120Model secondary_ranger_;
   sensors::Adxl311Model accel_;
   display::Bt96040 top_panel_;
   display::Bt96040 bottom_panel_;
@@ -202,21 +227,34 @@ class DistScrollDevice {
   input::Potentiometer pot_;
   std::vector<std::unique_ptr<input::Button>> buttons_;
   std::vector<input::Debouncer> debouncers_;
+  /// Stable contexts for the debouncers' non-owning edge callbacks.
+  struct ButtonCtx {
+    DistScrollDevice* device = nullptr;
+    std::size_t index = 0;
+  };
+  std::array<ButtonCtx, 3> button_ctx_{};
 
   const menu::MenuNode* menu_root_;
   menu::MenuCursor cursor_;
 
-  std::unique_ptr<IslandMapper> mapper_;
-  std::unique_ptr<ScrollController> controller_;
-  std::unique_ptr<ChunkedScroll> chunker_;
-  std::unique_ptr<SpeedZoom> zoom_;
-  std::unique_ptr<FastScrollMode> fast_scroll_;
-  std::unique_ptr<sensors::Gp2d120Model> secondary_ranger_;
-  std::unique_ptr<DualRangeResolver> dual_resolver_;
-  std::unique_ptr<ContextGate> context_gate_;
+  // Direct members, rebuilt in place by rebuild_mapping(): level changes
+  // happen every few seconds of simulated time, and the old
+  // unique_ptr-per-rebuild churned the heap on each one. The controller
+  // keeps a pointer to mapper_, which is address-stable here.
+  IslandMapper mapper_;
+  ScrollController controller_;
+  std::optional<ChunkedScroll> chunker_;
+  std::optional<SpeedZoom> zoom_;
+  std::optional<FastScrollMode> fast_scroll_;
+  std::optional<DualRangeResolver> dual_resolver_;
+  std::optional<ContextGate> context_gate_;
 
-  std::function<util::Centimeters(util::Seconds)> distance_provider_;
-  std::function<util::Radians(util::Seconds)> tilt_provider_;
+  // Providers: owning slots filled at the setup boundary, read through
+  // the non-owning two-pointer views on the sampling path.
+  std::function<util::Centimeters(util::Seconds)> distance_owner_;
+  std::function<util::Radians(util::Seconds)> tilt_owner_;
+  DistanceProvider distance_provider_;
+  TiltProvider tilt_provider_;
   std::function<std::optional<util::AdcCounts>()> counts_override_;
   obs::Tracer* tracer_ = nullptr;
 
@@ -231,6 +269,10 @@ class DistScrollDevice {
   bool powered_ = false;
   bool browned_out_ = false;
   bool calibrated_from_eeprom_ = false;
+  /// Whether the 16 B dual-sensor RAM block has been registered with the
+  /// MCU. Reservations are per-board, not per-session: a pooled board
+  /// that once ran a dual-sensor session keeps the block.
+  bool has_dual_ram_ = false;
   std::size_t firmware_timer_ = 0;
   std::size_t button_timer_ = 0;
   int ticks_since_telemetry_ = 0;

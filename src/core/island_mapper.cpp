@@ -6,8 +6,12 @@
 
 namespace distscroll::core {
 
-IslandMapper::IslandMapper(const SensorCurve& curve, std::size_t entries, Config config)
-    : config_(config) {
+IslandMapper::IslandMapper(const SensorCurve& curve, std::size_t entries, Config config) {
+  rebuild(curve, entries, config);
+}
+
+void IslandMapper::rebuild(const SensorCurve& curve, std::size_t entries, Config config) {
+  config_ = config;
   assert(entries >= 1);
   assert(config.near < config.far);
   assert(config.coverage > 0.0 && config.coverage <= 1.0);
@@ -16,8 +20,11 @@ IslandMapper::IslandMapper(const SensorCurve& curve, std::size_t entries, Config
   const double slot = span / static_cast<double>(entries);
 
   // Entry centres at equally spaced distances: the perceptual uniformity
-  // the paper engineers for.
-  std::vector<double> centre_counts(entries);
+  // the paper engineers for. centre_counts_ is scratch kept as a member
+  // so rebuild() allocates nothing once capacity covers the largest
+  // level.
+  centre_counts_.resize(entries);
+  std::vector<double>& centre_counts = centre_counts_;
   centres_.resize(entries);
   for (std::size_t i = 0; i < entries; ++i) {
     const util::Centimeters d{config.near.value + (static_cast<double>(i) + 0.5) * slot};
@@ -65,6 +72,19 @@ IslandMapper::IslandMapper(const SensorCurve& curve, std::size_t entries, Config
     islands_[i] = Island{static_cast<std::uint16_t>(low), static_cast<std::uint16_t>(high),
                          static_cast<std::uint16_t>(std::max(0, centre))};
   }
+
+  // Burn the counts→entry LUT. Islands are disjoint by construction, so
+  // painting each interval over a gap-filled table is exact; empty
+  // islands (low > high) paint nothing.
+  lut_.fill(kLutGap);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const Island& island = islands_[i];
+    if (island.low > island.high) continue;
+    const std::size_t hi = std::min<std::size_t>(island.high, kLutSize - 1);
+    for (std::size_t c = island.low; c <= hi; ++c) {
+      lut_[c] = static_cast<std::uint16_t>(i);
+    }
+  }
 }
 
 std::optional<std::size_t> IslandMapper::lookup(util::AdcCounts counts) const {
@@ -95,7 +115,7 @@ IslandMapper::Probe IslandMapper::probe(util::AdcCounts counts,
     const int hi = static_cast<int>(island.high) + config_.hysteresis_counts;
     if (x >= lo && x <= hi) return {current, false, false};
   }
-  auto hit = lookup(counts);
+  auto hit = lookup_lut(counts);
   if (hit) return {hit, false, true};
   // Selection-free gap: "No selection or change happens if the device is
   // held in a distance between two of those islands."
@@ -125,8 +145,17 @@ util::Centimeters IslandMapper::centre_distance(std::size_t entry) const {
 }
 
 std::uint64_t IslandMapper::lookup_cost_cycles() const {
-  // Binary search: ~14 cycles per probe (compare, branch, index math on
-  // an 8-bit core handling 16-bit values) plus fixed overhead.
+  // Flash LUT fetch: load the 16-bit counts into TBLPTR (~6 cycles of
+  // pointer math on the 8-bit core), one TBLRD* (2 cycles), plus the
+  // gap-sentinel compare and branch — constant regardless of how many
+  // entries the menu level has.
+  return 10;
+}
+
+std::uint64_t IslandMapper::search_cost_cycles() const {
+  // The pre-LUT binary search: ~14 cycles per probe (compare, branch,
+  // index math on an 8-bit core handling 16-bit values) plus fixed
+  // overhead.
   const auto probes = static_cast<std::uint64_t>(
       std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(2, islands_.size())))));
   return 12 + probes * 14;

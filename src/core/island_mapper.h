@@ -22,6 +22,7 @@
 // PIC's RAM budget.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -50,6 +51,12 @@ class IslandMapper {
   /// sensor curve. Precondition: entries >= 1, near < far.
   IslandMapper(const SensorCurve& curve, std::size_t entries, Config config);
 
+  /// Rebuild the table in place for a new entry count/config. Reuses the
+  /// island/centre storage (no allocation once capacity has grown to the
+  /// largest menu level seen) — the session-reuse path for menu-level
+  /// changes and pooled devices.
+  void rebuild(const SensorCurve& curve, std::size_t entries, Config config);
+
   [[nodiscard]] std::size_t entries() const { return islands_.size(); }
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -60,9 +67,20 @@ class IslandMapper {
   };
   [[nodiscard]] const std::vector<Island>& islands() const { return islands_; }
 
-  /// The stateless lookup: which entry's island contains `counts`?
-  /// nullopt inside a selection-free gap or out of range.
+  /// The stateless lookup, reference implementation: binary search over
+  /// the island table. Kept as the oracle the LUT is property-tested
+  /// against; the hot path uses lookup_lut().
   [[nodiscard]] std::optional<std::size_t> lookup(util::AdcCounts counts) const;
+
+  /// O(1) lookup through the 1024-entry counts→island table — exactly
+  /// the table the PIC firmware would burn into flash (1 KB of 8-bit
+  /// entry ids; we store 16-bit ids so >255-entry menus stay correct).
+  [[nodiscard]] std::optional<std::size_t> lookup_lut(util::AdcCounts counts) const {
+    if (counts.value >= kLutSize) return std::nullopt;
+    const std::uint16_t id = lut_[counts.value];
+    if (id == kLutGap) return std::nullopt;
+    return static_cast<std::size_t>(id);
+  }
 
   /// One table probe, full verdict: the stateful select() result plus
   /// the facts a caller would otherwise pay a second lookup() for. The
@@ -99,14 +117,24 @@ class IslandMapper {
   /// Distance of an entry's centre (for display/debug).
   [[nodiscard]] util::Centimeters centre_distance(std::size_t entry) const;
 
-  /// Approximate firmware cost of one lookup in PIC instruction cycles
-  /// (binary search over the island table).
+  /// Approximate firmware cost of one lookup in PIC instruction cycles:
+  /// one flash table fetch (TBLPTR setup + TBLRD*), independent of the
+  /// entry count now that the mapping is a burned-in LUT.
   [[nodiscard]] std::uint64_t lookup_cost_cycles() const;
+
+  /// The binary-search cost the LUT replaced (reference implementation;
+  /// kept so the microbench can report the saving).
+  [[nodiscard]] std::uint64_t search_cost_cycles() const;
+
+  static constexpr std::size_t kLutSize = 1024;   // full 10-bit ADC range
+  static constexpr std::uint16_t kLutGap = 0xFFFF;
 
  private:
   Config config_;
   std::vector<Island> islands_;  // index 0 = nearest entry
   std::vector<util::Centimeters> centres_;
+  std::vector<double> centre_counts_;  // rebuild() scratch (reused capacity)
+  std::array<std::uint16_t, kLutSize> lut_{};  // counts -> entry id / kLutGap
   double spectrum_high_ = 1023.0;  // expected counts at `near`
   double spectrum_low_ = 0.0;      // expected counts at `far`
 };

@@ -69,6 +69,18 @@ class ScrollController {
 
   void reset();
 
+  /// Restore the freshly-constructed state — selection, smoothing state
+  /// AND stream statistics — for a new session or config. Equivalent to
+  /// replacing the controller object, minus the heap churn; the mapper
+  /// binding and tracer are kept.
+  void reinitialize(Config config) {
+    config_ = config;
+    reset();
+    samples_ = 0;
+    changes_ = 0;
+    gap_samples_ = 0;
+  }
+
   // Stream statistics for the study harness.
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] std::uint64_t selection_changes() const { return changes_; }

@@ -1,8 +1,8 @@
 #include "human/motion_planner.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <deque>
 
 #include "baselines/button_scroll.h"
 #include "baselines/wheel_scroll.h"
@@ -15,16 +15,34 @@ namespace {
 
 /// Perceived-cursor buffer: the user reacts to where the cursor WAS
 /// reaction_time ago, not where it is.
+///
+/// Inline fixed ring instead of std::deque: one of these is constructed
+/// per rate/unbounded trial, and the deque's chunk-map allocation plus
+/// teardown showed up at ~8% of exp_scroll_comparison's flat profile.
+/// Capacity covers reaction_time/dt with 1.7x headroom (worst profile:
+/// 0.30 s at 4 ms steps = 75 live samples); if a configuration ever
+/// exceeds it, the oldest sample is dropped — which only shortens the
+/// perceived delay for windows that could not fit anyway.
 class DelayedPerception {
  public:
   explicit DelayedPerception(double delay_s) : delay_s_(delay_s) {}
 
-  void observe(double t, long cursor) { history_.push_back({t, cursor}); }
+  void observe(double t, long cursor) {
+    if (size_ == kCapacity) {
+      head_ = (head_ + 1) & kMask;
+      --size_;
+    }
+    buffer_[(head_ + size_) & kMask] = {t, cursor};
+    ++size_;
+  }
 
   [[nodiscard]] long perceived(double t) {
     const double cutoff = t - delay_s_;
-    while (history_.size() > 1 && history_[1].t <= cutoff) history_.pop_front();
-    return history_.empty() ? 0 : history_.front().cursor;
+    while (size_ > 1 && buffer_[(head_ + 1) & kMask].t <= cutoff) {
+      head_ = (head_ + 1) & kMask;
+      --size_;
+    }
+    return size_ == 0 ? 0 : buffer_[head_].cursor;
   }
 
  private:
@@ -32,8 +50,12 @@ class DelayedPerception {
     double t;
     long cursor;
   };
+  static constexpr std::size_t kCapacity = 128;
+  static constexpr std::size_t kMask = kCapacity - 1;
   double delay_s_;
-  std::deque<Sample> history_;
+  std::array<Sample, kCapacity> buffer_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// Counts sign changes of (cursor - target): each full crossing is an

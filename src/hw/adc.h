@@ -8,17 +8,23 @@
 #pragma once
 
 #include <cassert>
-#include <functional>
 #include <vector>
 
 #include "sim/random.h"
+#include "util/function_ref.h"
 #include "util/units.h"
 
 namespace distscroll::hw {
 
 /// An analog signal the ADC can sample: volts as a function of simulated
 /// time. Sensors expose themselves as AnalogSource.
-using AnalogSource = std::function<util::Volts(util::Seconds)>;
+///
+/// A non-owning delegate, not a std::function: the ADC samples on every
+/// firmware tick and the sources are long-lived board wiring (a device's
+/// sensors, a test's local lambda), so the two-pointer view removes a
+/// type-erased heap callable from the per-sample path. Callers keep the
+/// callable alive for the ADC's lifetime.
+using AnalogSource = util::FunctionRef<util::Volts(util::Seconds)>;
 
 class Adc10 {
  public:
@@ -29,6 +35,13 @@ class Adc10 {
   };
 
   Adc10(Config config, sim::Rng rng) : config_(config), rng_(rng) {}
+
+  /// Session reuse: new config and noise stream; attached channels are
+  /// wiring and survive.
+  void reset(Config config, sim::Rng rng) {
+    config_ = config;
+    rng_ = rng;
+  }
 
   /// Attach an analog source to a channel; returns the channel number.
   std::size_t attach(AnalogSource source);

@@ -33,6 +33,9 @@ class SmartIts {
     std::size_t gpio_pins = 8;
   };
 
+  /// Regulator + MCU active draw of the board itself.
+  static constexpr double kBoardDrawMa = 12.0;
+
   SmartIts(Config config, sim::EventQueue& queue, sim::Rng rng)
       : battery_(config.battery),
         mcu_(config.mcu, queue),
@@ -41,7 +44,22 @@ class SmartIts {
         uart_(config.uart),
         gpio_(config.gpio_pins) {
     // Baseline draws of the board itself (regulator + MCU active).
-    mcu_draw_ = battery_.add_consumer("base-board+mcu", 12.0);
+    mcu_draw_ = battery_.add_consumer("base-board+mcu", kBoardDrawMa);
+  }
+
+  /// Session reuse: restore the freshly-constructed board state in
+  /// place. Rng fork tags match the constructor, so a reset board draws
+  /// the exact streams a fresh one would. The owner must have cleared
+  /// the shared event queue first (Mcu::reset drops its timers). The
+  /// GPIO pin count is fixed at construction.
+  void reset(Config config, sim::Rng rng) {
+    battery_.reset(config.battery);
+    mcu_.reset(config.mcu);
+    adc_.reset(config.adc, rng.fork(0xADC));
+    i2c_.reset(config.i2c);
+    uart_.reset(config.uart);
+    gpio_.reset();
+    battery_.set_draw(mcu_draw_, kBoardDrawMa);
   }
 
   [[nodiscard]] Battery& battery() { return battery_; }

@@ -6,9 +6,8 @@
 // callbacks.
 #pragma once
 
-#include <functional>
-
 #include "hw/gpio.h"
+#include "util/function_ref.h"
 
 namespace distscroll::input {
 
@@ -18,13 +17,25 @@ class Debouncer {
     int stable_ticks = 8;  // 8 ms at a 1 kHz tick: > max bounce window
   };
 
-  using Callback = std::function<void()>;
+  /// Non-owning delegate: the debouncer ticks at 1 kHz and its callbacks
+  /// are wiring into a long-lived owner (the device), so edges dispatch
+  /// through a two-pointer call instead of a heap-backed std::function.
+  /// The owner keeps the callable (or context object) alive.
+  using Callback = util::FunctionRef<void()>;
 
   Debouncer() : Debouncer(Config{}) {}
   explicit Debouncer(Config config) : config_(config) {}
 
   void on_press(Callback cb) { on_press_ = std::move(cb); }
   void on_release(Callback cb) { on_release_ = std::move(cb); }
+
+  /// Session reuse: back to the released steady state. The press and
+  /// release callbacks are wiring and survive.
+  void reset(Config config) {
+    config_ = config;
+    stable_level_ = hw::PinLevel::High;
+    counter_ = 0;
+  }
 
   /// Debounced state (active-low wiring: Low = pressed).
   [[nodiscard]] bool pressed() const { return stable_level_ == hw::PinLevel::Low; }

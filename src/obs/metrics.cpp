@@ -10,6 +10,7 @@ namespace distscroll::obs {
 
 void Histogram::record(double value) {
   ++count_;
+  sum_ += value;
   std::size_t bucket = 0;
   if (value > config_.first_bucket) {
     bucket = static_cast<std::size_t>(std::floor(std::log2(value / config_.first_bucket))) + 1;
@@ -101,9 +102,25 @@ std::string MetricsRegistry::to_json_fields(int indent) const {
     if (!first) out += ",\n";
     first = false;
     if (row.histogram != nullptr) {
-      std::snprintf(line, sizeof(line), "%s\"%s_count\": %.0f", pad.c_str(), row.name.c_str(),
-                    row.value);
-    } else if (row.value == std::floor(row.value) && std::abs(row.value) < 1e15) {
+      const Histogram& hist = *row.histogram;
+      std::snprintf(line, sizeof(line), "%s\"%s_count\": %.0f,\n", pad.c_str(),
+                    row.name.c_str(), row.value);
+      out += line;
+      std::snprintf(line, sizeof(line), "%s\"%s_sum_%s\": %.3f,\n", pad.c_str(),
+                    row.name.c_str(), hist.config().unit,
+                    hist.sum() * hist.config().display_scale);
+      out += line;
+      std::snprintf(line, sizeof(line), "%s\"%s_buckets\": [", pad.c_str(), row.name.c_str());
+      out += line;
+      for (std::size_t i = 0; i < hist.buckets().size(); ++i) {
+        std::snprintf(line, sizeof(line), "%s%llu", i == 0 ? "" : ", ",
+                      static_cast<unsigned long long>(hist.buckets()[i]));
+        out += line;
+      }
+      out += "]";
+      continue;
+    }
+    if (row.value == std::floor(row.value) && std::abs(row.value) < 1e15) {
       std::snprintf(line, sizeof(line), "%s\"%s\": %.0f", pad.c_str(), row.name.c_str(),
                     row.value);
     } else {

@@ -60,6 +60,10 @@ class Histogram {
   void record(double value);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Sum of all recorded values (pre display_scale), so callers can
+  /// derive means and time shares from a snapshot.
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
   [[nodiscard]] double bucket_low(std::size_t i) const;
 
@@ -71,12 +75,14 @@ class Histogram {
   void clear() {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
+    sum_ = 0.0;
   }
 
  private:
   Config config_;
   std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
   std::uint64_t count_ = 0;
+  double sum_ = 0.0;
 };
 
 class MetricsRegistry {
@@ -97,7 +103,9 @@ class MetricsRegistry {
 
   /// `"name": value` pairs, one per line with `indent` leading spaces —
   /// for embedding into BENCH_*.json objects. Histograms contribute
-  /// their count under "<name>_count".
+  /// three fields: "<name>_count", "<name>_sum_<unit>" (sum in display
+  /// units) and "<name>_buckets" (the full log2 bucket array), so the
+  /// bench artefacts carry real distributions, not just totals.
   [[nodiscard]] std::string to_json_fields(int indent = 2) const;
 
   /// Zero every counter/gauge and clear every histogram (instruments

@@ -8,19 +8,24 @@ PdaAddon::PdaAddon(Config config, sim::EventQueue& queue, sim::Rng rng)
       board_(config.board, queue, rng.fork(1)),
       ranger_(config.sensor, rng.fork(2)) {
   distance_provider_ = [](util::Seconds) { return util::Centimeters{17.0}; };
-  ranger_channel_ = board_.adc().attach(
-      [this](util::Seconds now) { return ranger_.output(distance_provider_(now), now); });
+  ranger_channel_ = board_.adc().attach(hw::AnalogSource(this, [](void* ctx, util::Seconds now) {
+    auto* self = static_cast<PdaAddon*>(ctx);
+    return self->ranger_.output(self->distance_provider_(now), now);
+  }));
 
   select_ = std::make_unique<input::Button>(config_.button, board_.gpio(), 0, queue, rng.fork(3));
   back_ = std::make_unique<input::Button>(config_.button, board_.gpio(), 1, queue, rng.fork(4));
   debouncers_.resize(2);
   for (std::size_t i = 0; i < 2; ++i) {
-    debouncers_[i].on_press([this, i] {
-      send_frame(kButtonFrame, {static_cast<std::uint8_t>(i), 1});
-    });
-    debouncers_[i].on_release([this, i] {
-      send_frame(kButtonFrame, {static_cast<std::uint8_t>(i), 0});
-    });
+    button_ctx_[i] = ButtonCtx{this, static_cast<std::uint8_t>(i)};
+    debouncers_[i].on_press(input::Debouncer::Callback(&button_ctx_[i], [](void* ctx) {
+      auto* c = static_cast<ButtonCtx*>(ctx);
+      c->addon->send_frame(kButtonFrame, {c->index, 1});
+    }));
+    debouncers_[i].on_release(input::Debouncer::Callback(&button_ctx_[i], [](void* ctx) {
+      auto* c = static_cast<ButtonCtx*>(ctx);
+      c->addon->send_frame(kButtonFrame, {c->index, 0});
+    }));
   }
 
   board_.battery().add_consumer("gp2d120", 33.0);

@@ -11,6 +11,7 @@
 // interpretation on the device with the display.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 
@@ -76,6 +77,12 @@ class PdaAddon {
   std::unique_ptr<input::Button> select_;
   std::unique_ptr<input::Button> back_;
   std::vector<input::Debouncer> debouncers_;
+  /// Stable contexts for the debouncers' non-owning edge callbacks.
+  struct ButtonCtx {
+    PdaAddon* addon = nullptr;
+    std::uint8_t index = 0;
+  };
+  std::array<ButtonCtx, 2> button_ctx_{};
   std::function<util::Centimeters(util::Seconds)> distance_provider_;
   wireless::FrameDecoder host_decoder_;
 

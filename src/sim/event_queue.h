@@ -106,6 +106,21 @@ class EventQueue {
   /// still pending (i.e. the simulation did not actually finish).
   [[nodiscard]] bool truncated() const { return truncated_; }
 
+  /// Reset to the just-constructed state — empty calendar, time zero,
+  /// seq counter zero — while KEEPING the heap/slot storage capacity.
+  /// The session-reuse path: a pooled device's queue is cleared between
+  /// cells, so dispatch order (which ties on seq) is bit-identical to a
+  /// fresh queue without the fresh allocations.
+  void clear() {
+    heap_.clear();
+    slots_.clear();
+    free_slots_.clear();
+    live_ = 0;
+    seq_ = 0;
+    truncated_ = false;
+    clock_ = SimClock{};
+  }
+
  private:
   struct HeapEntry {
     double time;

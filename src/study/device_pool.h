@@ -1,0 +1,68 @@
+// Per-thread device session pool.
+//
+// Constructing a DistScrollDevice allocates the whole prototype — board,
+// buses, displays, buttons, calendar — and the device study used to do
+// that once per participant, per sweep cell. A DeviceSession instead
+// owns one event queue + one device and recycles them: acquire() clears
+// the calendar and resets the device in place, so steady-state cells
+// run allocation-free.
+//
+// Determinism contract: because DistScrollDevice::reset() IS the second
+// half of its constructor (same rng fork tags, same initial state), a
+// recycled session is bit-identical to a fresh one for the same
+// (config, menu, rng) — pinned by the pooled-vs-fresh property test.
+// The pool is thread_local so parallel sweep workers never share a
+// session, keeping the cell-result-is-a-pure-function-of-(index, fork)
+// contract intact at any thread count.
+#pragma once
+
+#include <optional>
+
+#include "core/distscroll_device.h"
+#include "menu/menu.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace distscroll::study {
+
+class DeviceSession {
+ public:
+  /// Hand out a device initialised for (config, menu_root, rng): the
+  /// first call constructs it, later calls clear the calendar and reset
+  /// the device in place.
+  core::DistScrollDevice& acquire(const core::DistScrollDevice::Config& config,
+                                  const menu::MenuNode& menu_root, sim::Rng rng) {
+    if (!device_) {
+      queue_.clear();
+      device_.emplace(config, menu_root, queue_, rng);
+    } else {
+      queue_.clear();  // BEFORE device reset: pending events hold timer indices
+      device_->reset(config, menu_root, rng);
+    }
+    return *device_;
+  }
+
+  [[nodiscard]] sim::EventQueue& queue() { return queue_; }
+
+  /// Drop the pooled device (test hook: forces the next acquire() to
+  /// construct fresh).
+  void discard() { device_.reset(); }
+
+  [[nodiscard]] bool warm() const { return device_.has_value(); }
+
+ private:
+  sim::EventQueue queue_;
+  std::optional<core::DistScrollDevice> device_;
+};
+
+class DevicePool {
+ public:
+  /// This thread's session. Workers in a parallel sweep each get their
+  /// own; the session persists across cells for the thread's lifetime.
+  static DeviceSession& local() {
+    thread_local DeviceSession session;
+    return session;
+  }
+};
+
+}  // namespace distscroll::study

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+
 #include "human/fitts.h"
 #include "human/hand_model.h"
+#include "obs/stage_timer.h"
+#include "study/device_pool.h"
 #include "util/stats.h"
 
 namespace distscroll::study {
@@ -37,7 +41,12 @@ class DeviceParticipant {
         config_(config),
         rng_(rng),
         hand_({}, rng_.fork(1)) {
-    device_->set_distance_provider([this](util::Seconds now) { return hand_.distance(now); });
+    // Non-owning provider: the participant outlives every queue event of
+    // its session (the device is powered off before it dies).
+    device_->set_distance_provider_ref(core::DistScrollDevice::DistanceProvider(
+        this, [](void* ctx, util::Seconds now) {
+          return static_cast<DeviceParticipant*>(ctx)->hand_.distance(now);
+        }));
   }
 
   void set_profile(const human::UserProfile& profile) { profile_ = profile; }
@@ -200,12 +209,32 @@ std::vector<MenuTarget> all_leaf_targets(const menu::MenuNode& root) {
 
 DeviceParticipantResult run_device_participant(const menu::MenuNode& menu_root,
                                                human::UserProfile profile,
-                                               const DeviceStudyConfig& config, sim::Rng rng) {
-  sim::EventQueue queue;
-  core::DistScrollDevice device(config.device, menu_root, queue, rng.fork(1));
-  device.power_on();
+                                               const DeviceStudyConfig& config, sim::Rng rng,
+                                               bool use_pool) {
+  // Pooled path: recycle this thread's session (the steady state does
+  // no allocation). Fresh path: construct everything locally — the
+  // reference the bit-identity property test compares against.
+  std::optional<sim::EventQueue> fresh_queue;
+  std::optional<core::DistScrollDevice> fresh_device;
+  sim::EventQueue* queue = nullptr;
+  core::DistScrollDevice* device = nullptr;
+  {
+    DS_STAGE(TrialSetup);  // the cost device pooling exists to shrink
+    if (use_pool) {
+      DeviceSession& session = DevicePool::local();
+      device = &session.acquire(config.device, menu_root, rng.fork(1));
+      queue = &session.queue();
+    } else {
+      fresh_queue.emplace();
+      fresh_device.emplace(config.device, menu_root, *fresh_queue, rng.fork(1));
+      queue = &*fresh_queue;
+      device = &*fresh_device;
+    }
+  }
+  core::DistScrollDevice& dev = *device;
+  dev.power_on();
 
-  DeviceParticipant participant(device, queue, profile, config, rng.fork(2));
+  DeviceParticipant participant(dev, *queue, profile, config, rng.fork(2));
   participant.set_menu_root(&menu_root);
 
   DeviceParticipantResult result;
@@ -240,7 +269,7 @@ DeviceParticipantResult run_device_participant(const menu::MenuNode& menu_root,
                                      config.learning_rate * (1.0 - profile.expertise));
     participant.set_profile(profile);
   }
-  device.power_off();
+  dev.power_off();
   return result;
 }
 

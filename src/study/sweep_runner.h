@@ -22,11 +22,13 @@
 #include <cstdio>
 #include <functional>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "obs/tracer.h"
 #include "sim/random.h"
 #include "sim/thread_pool.h"
@@ -40,7 +42,13 @@ class SweepGrid {
  public:
   SweepGrid(std::initializer_list<std::size_t> axis_sizes) : axes_(axis_sizes) {
     cells_ = axes_.empty() ? 0 : 1;
-    for (const std::size_t n : axes_) cells_ *= n;
+    // Precomputed suffix strides: coord() runs per cell per axis in
+    // every bench, so it must not redo this O(axes) product each call.
+    strides_.resize(axes_.size());
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+      strides_[a] = cells_;  // product of all axes after `a`
+      cells_ *= axes_[a];
+    }
   }
 
   [[nodiscard]] std::size_t cells() const { return cells_; }
@@ -48,9 +56,7 @@ class SweepGrid {
 
   /// Coordinate of flat `index` along `axis`.
   [[nodiscard]] std::size_t coord(std::size_t index, std::size_t axis) const {
-    std::size_t stride = 1;
-    for (std::size_t a = axes_.size(); a-- > axis + 1;) stride *= axes_[a];
-    return (index / stride) % axes_[axis];
+    return (index / strides_[axis]) % axes_[axis];
   }
 
   /// Flat index of a coordinate tuple (must match axes()).
@@ -62,6 +68,7 @@ class SweepGrid {
 
  private:
   std::vector<std::size_t> axes_;
+  std::vector<std::size_t> strides_;
   std::size_t cells_ = 0;
 };
 
@@ -80,9 +87,14 @@ class SweepRunner {
  public:
   explicit SweepRunner(SweepConfig config)
       : config_(config), root_(config.base_seed),
-        pool_(resolve_sweep_threads(config.threads)) {}
+        threads_(resolve_sweep_threads(config.threads)) {
+    // A single-threaded sweep needs no pool at all — not even the
+    // mutex/condvar object (timed_sweep's sequential pass runs through
+    // this path, so the timed reference run carries zero pool overhead).
+    if (threads_ > 1) pool_.emplace(threads_);
+  }
 
-  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
 
   /// The cell's private stream: stable for (base_seed, index) and
   /// independent of which thread runs it or when.
@@ -93,17 +105,24 @@ class SweepRunner {
   template <typename Result, typename Body>
   std::vector<Result> run(std::size_t count, Body&& body) {
     std::vector<Result> slots(count);
-    pool_.parallel_for(
-        count,
-        [&](std::size_t index) { slots[index] = body(index, cell_rng(index)); },
-        config_.chunk);
+    if (pool_) {
+      pool_->parallel_for(
+          count,
+          [&](std::size_t index) { slots[index] = body(index, cell_rng(index)); },
+          config_.chunk);
+    } else {
+      for (std::size_t index = 0; index < count; ++index) {
+        slots[index] = body(index, cell_rng(index));
+      }
+    }
     return slots;
   }
 
  private:
   SweepConfig config_;
   sim::Rng root_;
-  sim::ThreadPool pool_;
+  std::size_t threads_;
+  std::optional<sim::ThreadPool> pool_;
 };
 
 /// Shared bench timing harness: runs the sweep sequentially, then on the
@@ -129,15 +148,23 @@ std::vector<Result> timed_sweep(const std::string& name, std::size_t count,
   obs::MetricsRegistry& registry = metrics ? *metrics : local_metrics;
   obs::Histogram& cell_wall =
       registry.histogram("cell_wall", {1e-3, 1e3, "ms"});
+  // Stage profiling rides the timed sequential pass only: installed on
+  // this thread with 1-in-16 decimation so the clock reads stay a few
+  // percent of the budget, and the parallel pass runs unprofiled. The
+  // stage histograms land in BENCH_<name>.json beside cell_wall.
+  obs::StageProfile stage_profile(registry, /*decimation=*/16);
 
   SweepRunner sequential({1, chunk, base_seed});
   const double t0 = sweep_wall_clock_s();
-  auto expected = sequential.run<Result>(count, [&](std::size_t index, sim::Rng rng) {
-    const double cell_t0 = sweep_wall_clock_s();
-    Result result = body(index, std::move(rng));
-    cell_wall.record(sweep_wall_clock_s() - cell_t0);
-    return result;
-  });
+  auto expected = [&] {
+    obs::StageProfile::Install install(stage_profile);
+    return sequential.run<Result>(count, [&](std::size_t index, sim::Rng rng) {
+      const double cell_t0 = sweep_wall_clock_s();
+      Result result = body(index, std::move(rng));
+      cell_wall.record(sweep_wall_clock_s() - cell_t0);
+      return result;
+    });
+  }();
   const double t1 = sweep_wall_clock_s();
 
   SweepRunner parallel({threads, chunk, base_seed});

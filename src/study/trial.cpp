@@ -1,16 +1,23 @@
 #include "study/trial.h"
 
 #include <cstdlib>
+#include <optional>
+
+#include "obs/stage_timer.h"
 
 namespace distscroll::study {
 
 TrialRecord run_trial(baselines::ScrollTechnique& technique, const SelectionTask& task,
                       const human::UserProfile& profile, sim::Rng rng,
                       human::MotionPlanner::Config planner_config) {
-  technique.reset(task.level_size, task.start_index);
-  human::MotionPlanner planner(planner_config, rng);
+  std::optional<human::MotionPlanner> planner;
+  {
+    DS_STAGE(TrialSetup);  // technique reset + planner construction
+    technique.reset(task.level_size, task.start_index);
+    planner.emplace(planner_config, rng);
+  }
   TrialRecord record;
-  record.outcome = planner.acquire(technique, task.target_index, profile);
+  record.outcome = planner->acquire(technique, task.target_index, profile);
   record.level_size = task.level_size;
   record.scroll_distance = task.target_index > task.start_index
                                ? task.target_index - task.start_index

@@ -1,0 +1,62 @@
+// Non-owning callable view for hot paths.
+//
+// A FunctionRef is two words: a context pointer and a plain function
+// pointer. Invoking one is a single indirect call — no heap closure, no
+// virtual dispatch through std::function's type-erased manager, and no
+// ownership. The trade is lifetime: the referenced callable must outlive
+// the FunctionRef, so owning std::function stays at setup-time API
+// boundaries (where a device stores a provider for its whole life) and
+// FunctionRef is the per-sample view handed to the inner loop.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace distscroll::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  using RawFn = R (*)(void*, Args...);
+
+  constexpr FunctionRef() = default;
+
+  /// Explicit (context, trampoline) form — the allocation-free idiom for
+  /// member dispatch: pass `this` and a non-capturing lambda that casts
+  /// the context back.
+  constexpr FunctionRef(void* context, RawFn fn) : context_(context), fn_(fn) {}
+
+  /// Bind any callable lvalue (lambda with captures, std::function,
+  /// function object). The callable is NOT copied; it must outlive the
+  /// view. Rvalues are rejected so `FunctionRef f = [..]{..};` (dangling
+  /// temporary) fails to compile.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  constexpr FunctionRef(F& callable)  // NOLINT(google-explicit-constructor)
+      : context_(const_cast<void*>(static_cast<const void*>(&callable))),
+        fn_([](void* ctx, Args... args) -> R {
+          return static_cast<R>((*static_cast<F*>(ctx))(std::forward<Args>(args)...));
+        }) {}
+
+  /// Plain function pointers are self-contained: no context needed.
+  constexpr FunctionRef(R (*fn)(Args...))  // NOLINT(google-explicit-constructor)
+      : context_(reinterpret_cast<void*>(fn)),
+        fn_([](void* ctx, Args... args) -> R {
+          return reinterpret_cast<R (*)(Args...)>(ctx)(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return fn_(context_, std::forward<Args>(args)...); }
+
+  [[nodiscard]] constexpr explicit operator bool() const { return fn_ != nullptr; }
+
+ private:
+  void* context_ = nullptr;
+  RawFn fn_ = nullptr;
+};
+
+}  // namespace distscroll::util

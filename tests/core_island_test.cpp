@@ -185,12 +185,16 @@ TEST(IslandMapper, HysteresisResistsBoundaryFlicker) {
   EXPECT_EQ(mapper.select(util::AdcCounts{firmly_in_3}, current), 3u);
 }
 
-TEST(IslandMapper, LookupCostGrowsLogarithmically) {
+TEST(IslandMapper, LookupCostConstantAndBelowSearch) {
+  // The LUT made the per-sample cost a constant flash fetch; the
+  // reference binary search's cost still grows with the entry count.
   SensorCurve curve;
   IslandMapper small(curve, 4, {});
   IslandMapper large(curve, 64, {});
-  EXPECT_LT(small.lookup_cost_cycles(), large.lookup_cost_cycles());
-  EXPECT_LE(large.lookup_cost_cycles(), 12 + 6 * 14);  // log2(64)=6 probes
+  EXPECT_EQ(small.lookup_cost_cycles(), large.lookup_cost_cycles());
+  EXPECT_LT(small.search_cost_cycles(), large.search_cost_cycles());
+  EXPECT_LE(large.search_cost_cycles(), 12 + 6 * 14);  // log2(64)=6 probes
+  EXPECT_LT(large.lookup_cost_cycles(), small.search_cost_cycles());
 }
 
 TEST(IslandMapper, ExhaustiveLookupConsistency) {
@@ -254,6 +258,74 @@ TEST(Calibration, ExcludesNonMonotonicBranch) {
   const auto samples = sweep(util::Centimeters{0.5}, util::Centimeters{30.0}, 0.5, read, 2);
   const auto result = calibrate(samples);
   EXPECT_GT(result.r_squared, 0.995);
+}
+
+TEST(IslandMapper, LutMatchesReferenceSearchExhaustively) {
+  // Property (perf-refactor guard): the O(1) flash LUT and the reference
+  // binary search are the same function on every representable ADC count,
+  // across entry counts 2..64 (odd/even, powers of two, and the 26-entry
+  // paper menu), coverages (touching islands, paper default, sparse), and
+  // hysteresis settings. Large entry counts squeeze far islands into
+  // empty (low > high) intervals, so those cases are inside the grid.
+  SensorCurve curve;
+  const double coverages[] = {0.3, 0.6, 1.0};
+  const std::uint16_t hysteresis[] = {0, 6};
+  // far = 30 is the paper's predicted range; far = 80 is the long-menu
+  // regime where quantisation squeezes distant islands into empty
+  // (low > high) intervals.
+  const double fars[] = {30.0, 80.0};
+  bool saw_empty = false;
+  for (std::size_t entries = 2; entries <= 64; ++entries) {
+    for (double coverage : coverages) {
+      for (std::uint16_t h : hysteresis) {
+        for (double far : fars) {
+          IslandMapper::Config config;
+          config.coverage = coverage;
+          config.hysteresis_counts = h;
+          config.far = util::Centimeters{far};
+          IslandMapper mapper(curve, entries, config);
+          for (const auto& island : mapper.islands()) saw_empty |= island.low > island.high;
+          for (std::uint32_t c = 0; c < IslandMapper::kLutSize; ++c) {
+            const util::AdcCounts counts{static_cast<std::uint16_t>(c)};
+            ASSERT_EQ(mapper.lookup_lut(counts), mapper.lookup(counts))
+                << "entries=" << entries << " coverage=" << coverage << " h=" << h
+                << " far=" << far << " counts=" << c;
+          }
+          // Out-of-table counts (ADC clamps at 1023, but the API accepts
+          // uint16_t): both implementations miss.
+          EXPECT_EQ(mapper.lookup_lut(util::AdcCounts{1024}), std::nullopt);
+          EXPECT_EQ(mapper.lookup(util::AdcCounts{1024}),
+                    mapper.lookup_lut(util::AdcCounts{1024}));
+        }
+      }
+    }
+  }
+  // Anti-vacuity: the grid genuinely exercised empty islands.
+  EXPECT_TRUE(saw_empty);
+}
+
+TEST(IslandMapper, RebuildInPlaceMatchesFreshConstruction) {
+  // Session-reuse contract: rebuilding a mapper in place (the pooled
+  // path) yields byte-for-byte the same table as constructing fresh.
+  SensorCurve curve;
+  IslandMapper reused(curve, 26, {});
+  const std::size_t levels[] = {3, 26, 7, 64, 2, 26};
+  for (std::size_t entries : levels) {
+    IslandMapper::Config config;
+    config.coverage = entries % 2 ? 0.6 : 1.0;
+    reused.rebuild(curve, entries, config);
+    IslandMapper fresh(curve, entries, config);
+    ASSERT_EQ(reused.entries(), fresh.entries());
+    for (std::size_t i = 0; i < fresh.entries(); ++i) {
+      EXPECT_EQ(reused.islands()[i].low, fresh.islands()[i].low);
+      EXPECT_EQ(reused.islands()[i].high, fresh.islands()[i].high);
+      EXPECT_EQ(reused.islands()[i].centre, fresh.islands()[i].centre);
+    }
+    for (std::uint32_t c = 0; c < IslandMapper::kLutSize; ++c) {
+      const util::AdcCounts counts{static_cast<std::uint16_t>(c)};
+      ASSERT_EQ(reused.lookup_lut(counts), fresh.lookup_lut(counts));
+    }
+  }
 }
 
 TEST(Calibration, SweepAveragesRepeats) {

@@ -65,7 +65,7 @@ TEST(Adc, QuantizesAgainstVref) {
   Adc10::Config config;
   config.noise_lsb_stddev = 0.0;
   Adc10 adc(config, sim::Rng(1));
-  const auto ch = adc.attach([](util::Seconds) { return util::Volts{2.5}; });
+  const auto ch = adc.attach(+[](util::Seconds) { return util::Volts{2.5}; });
   const auto counts = adc.sample(ch, util::Seconds{0.0});
   EXPECT_NEAR(counts.value, 2.5 / 5.0 * 1023.0, 1.0);
 }
@@ -74,15 +74,15 @@ TEST(Adc, ClampsOutOfRangeInputs) {
   Adc10::Config config;
   config.noise_lsb_stddev = 0.0;
   Adc10 adc(config, sim::Rng(1));
-  const auto hi = adc.attach([](util::Seconds) { return util::Volts{9.0}; });
-  const auto lo = adc.attach([](util::Seconds) { return util::Volts{-1.0}; });
+  const auto hi = adc.attach(+[](util::Seconds) { return util::Volts{9.0}; });
+  const auto lo = adc.attach(+[](util::Seconds) { return util::Volts{-1.0}; });
   EXPECT_EQ(adc.sample(hi, util::Seconds{0.0}).value, 1023);
   EXPECT_EQ(adc.sample(lo, util::Seconds{0.0}).value, 0);
 }
 
 TEST(Adc, NoiseStaysWithinAFewLsb) {
   Adc10 adc({}, sim::Rng(2));
-  const auto ch = adc.attach([](util::Seconds) { return util::Volts{2.0}; });
+  const auto ch = adc.attach(+[](util::Seconds) { return util::Volts{2.0}; });
   const double expected = 2.0 / 5.0 * 1023.0;
   for (int i = 0; i < 200; ++i) {
     EXPECT_NEAR(adc.sample(ch, util::Seconds{0.0}).value, expected, 4.0);
@@ -98,8 +98,8 @@ TEST(Adc, MultipleChannelsIndependent) {
   Adc10::Config config;
   config.noise_lsb_stddev = 0.0;
   Adc10 adc(config, sim::Rng(4));
-  const auto a = adc.attach([](util::Seconds) { return util::Volts{1.0}; });
-  const auto b = adc.attach([](util::Seconds) { return util::Volts{4.0}; });
+  const auto a = adc.attach(+[](util::Seconds) { return util::Volts{1.0}; });
+  const auto b = adc.attach(+[](util::Seconds) { return util::Volts{4.0}; });
   EXPECT_LT(adc.sample(a, util::Seconds{0.0}).value, adc.sample(b, util::Seconds{0.0}).value);
   EXPECT_EQ(adc.channel_count(), 2u);
 }

@@ -81,7 +81,8 @@ TEST_F(ButtonFixture, RapidRepressSupersedesOldBounce) {
 TEST(Debouncer, RequiresStableLevels) {
   Debouncer deb;
   int presses = 0;
-  deb.on_press([&] { ++presses; });
+  auto count_press = [&] { ++presses; };  // Callback is non-owning: keep alive
+  deb.on_press(count_press);
   // 3 noisy low samples then back high: no press (needs 8 stable).
   for (int i = 0; i < 3; ++i) deb.tick(hw::PinLevel::Low);
   deb.tick(hw::PinLevel::High);
@@ -98,7 +99,8 @@ TEST(Debouncer, RequiresStableLevels) {
 TEST(Debouncer, ReleaseFiresAfterStableHigh) {
   Debouncer deb;
   int releases = 0;
-  deb.on_release([&] { ++releases; });
+  auto count_release = [&] { ++releases; };
+  deb.on_release(count_release);
   for (int i = 0; i < 8; ++i) deb.tick(hw::PinLevel::Low);
   for (int i = 0; i < 8; ++i) deb.tick(hw::PinLevel::High);
   EXPECT_EQ(releases, 1);
@@ -108,7 +110,8 @@ TEST(Debouncer, ReleaseFiresAfterStableHigh) {
 TEST(Debouncer, BounceWithinWindowIgnored) {
   Debouncer deb;
   int presses = 0;
-  deb.on_press([&] { ++presses; });
+  auto count_press = [&] { ++presses; };
+  deb.on_press(count_press);
   // Alternate every 3 ticks forever: never stable, never fires.
   for (int i = 0; i < 60; ++i) {
     deb.tick((i / 3) % 2 ? hw::PinLevel::Low : hw::PinLevel::High);
@@ -122,8 +125,10 @@ TEST(DebouncerWithButton, EndToEndThroughGpio) {
   Button button({}, gpio, 0, queue, sim::Rng(5));
   Debouncer deb;
   int presses = 0, releases = 0;
-  deb.on_press([&] { ++presses; });
-  deb.on_release([&] { ++releases; });
+  auto count_press = [&] { ++presses; };
+  auto count_release = [&] { ++releases; };
+  deb.on_press(count_press);
+  deb.on_release(count_release);
 
   // 1 kHz firmware scan co-simulated with the bouncing button.
   button.press();

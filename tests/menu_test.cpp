@@ -183,7 +183,10 @@ TEST_P(RandomMenuProperty, EnterBackIsIdentity) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomMenuProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+// Seed 3 was replaced with 9 when the Rng engine moved to xoshiro256++:
+// its new stream happens to build a menu the 500-step walk never
+// descends into, which trips the anti-vacuity check below.
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMenuProperty, ::testing::Values(1, 2, 9, 4, 5, 6, 7, 8));
 
 }  // namespace
 }  // namespace distscroll::menu

@@ -75,7 +75,8 @@ TEST_P(DebouncerSweep, ShorterBouncesNeverFire) {
   config.stable_ticks = GetParam();
   input::Debouncer debouncer(config);
   int presses = 0;
-  debouncer.on_press([&] { ++presses; });
+  auto count_press = [&] { ++presses; };  // Callback is non-owning: keep alive
+  debouncer.on_press(count_press);
   // Any alternation faster than stable_ticks must never register.
   for (int i = 0; i < 50 * GetParam(); ++i) {
     debouncer.tick(((i / (GetParam() - 1)) % 2) ? hw::PinLevel::Low : hw::PinLevel::High);

@@ -1,0 +1,164 @@
+// bench_compare: gate the perf trajectory on the committed BENCH_*.json
+// baselines.
+//
+// Usage:
+//   bench_compare <baseline_dir> [<fresh_dir>] [--tolerance <factor>] [--allow-missing]
+//
+// For every BENCH_<name>.json in <baseline_dir> the tool loads the
+// fresh report of the same name from <fresh_dir> (default ".") and
+// checks:
+//   * the fresh run kept the determinism contract (bit_identical);
+//   * the fresh sequential wall clock is no worse than
+//     baseline * tolerance (default 1.25 — wall clocks on shared CI
+//     machines are noisy; the gate is for real regressions, not jitter).
+//
+// Exit codes: 0 = all gates passed, 1 = regression or unreadable
+// report, 77 = environment not comparable (hardware thread count or
+// tracing build flavour differs from the baseline's) — wired into
+// ctest as SKIP_RETURN_CODE so a laptop checkout doesn't fail the
+// `perf` label against CI-recorded baselines.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitSkip = 77;
+
+struct Report {
+  std::string name;
+  double sequential_wall_s = 0.0;
+  double hardware_threads = 0.0;
+  bool bit_identical = false;
+  bool tracing_compiled = false;
+};
+
+/// First top-level `"key": <number|bool>` occurrence. The BENCH format
+/// is flat with one nested "metrics" object whose keys never collide
+/// with the ones this tool reads.
+std::optional<double> find_number(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const char* cursor = json.c_str() + at + needle.size();
+  while (*cursor == ' ') ++cursor;
+  if (std::strncmp(cursor, "true", 4) == 0) return 1.0;
+  if (std::strncmp(cursor, "false", 5) == 0) return 0.0;
+  char* end = nullptr;
+  const double value = std::strtod(cursor, &end);
+  if (end == cursor) return std::nullopt;
+  return value;
+}
+
+std::optional<Report> load_report(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  Report report;
+  const auto wall = find_number(json, "sequential_wall_s");
+  const auto hw = find_number(json, "hardware_threads");
+  const auto bit = find_number(json, "bit_identical");
+  const auto tracing = find_number(json, "tracing_compiled");
+  if (!wall || !hw || !bit || !tracing) return std::nullopt;
+  report.name = path.filename().string();
+  report.sequential_wall_s = *wall;
+  report.hardware_threads = *hw;
+  report.bit_identical = *bit != 0.0;
+  report.tracing_compiled = *tracing != 0.0;
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir;
+  std::string fresh_dir = ".";
+  double tolerance = 1.25;
+  // The ctest smoke gate regenerates ONE representative bench and
+  // compares just that; baselines with no fresh report then count as
+  // skipped instead of failing.
+  bool allow_missing = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--allow-missing") == 0) {
+      allow_missing = true;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.empty() || tolerance <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline_dir> [<fresh_dir>] [--tolerance <factor>]\n");
+    return kExitFail;
+  }
+  baseline_dir = positional[0];
+  if (positional.size() > 1) fresh_dir = positional[1];
+
+  int compared = 0, failed = 0, skipped = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(baseline_dir)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json") continue;
+
+    const auto baseline = load_report(entry.path());
+    if (!baseline) {
+      std::fprintf(stderr, "[fail] %s: unreadable baseline\n", file.c_str());
+      ++failed;
+      continue;
+    }
+    const auto fresh = load_report(std::filesystem::path(fresh_dir) / file);
+    if (!fresh) {
+      if (allow_missing) {
+        std::printf("[skip] %s: no fresh report in %s\n", file.c_str(), fresh_dir.c_str());
+        ++skipped;
+      } else {
+        std::fprintf(stderr, "[fail] %s: no fresh report in %s (run the exp_* benches first)\n",
+                     file.c_str(), fresh_dir.c_str());
+        ++failed;
+      }
+      continue;
+    }
+    if (fresh->hardware_threads != baseline->hardware_threads ||
+        fresh->tracing_compiled != baseline->tracing_compiled) {
+      std::printf("[skip] %s: environment differs (hw threads %.0f vs %.0f, tracing %d vs %d)\n",
+                  file.c_str(), fresh->hardware_threads, baseline->hardware_threads,
+                  fresh->tracing_compiled ? 1 : 0, baseline->tracing_compiled ? 1 : 0);
+      ++skipped;
+      continue;
+    }
+    ++compared;
+    if (!fresh->bit_identical) {
+      std::fprintf(stderr, "[fail] %s: parallel results diverged from sequential\n",
+                   file.c_str());
+      ++failed;
+      continue;
+    }
+    const double limit = baseline->sequential_wall_s * tolerance;
+    if (fresh->sequential_wall_s > limit) {
+      std::fprintf(stderr, "[fail] %s: sequential %.3fs exceeds baseline %.3fs x %.2f = %.3fs\n",
+                   file.c_str(), fresh->sequential_wall_s, baseline->sequential_wall_s,
+                   tolerance, limit);
+      ++failed;
+      continue;
+    }
+    std::printf("[ ok ] %s: sequential %.3fs vs baseline %.3fs (limit %.3fs)\n", file.c_str(),
+                fresh->sequential_wall_s, baseline->sequential_wall_s, limit);
+  }
+
+  std::printf("bench_compare: %d compared, %d failed, %d skipped\n", compared, failed, skipped);
+  if (failed > 0) return kExitFail;
+  if (compared == 0) return skipped > 0 ? kExitSkip : kExitFail;
+  return kExitOk;
+}
