@@ -28,6 +28,7 @@
 #include "sim/event_queue.h"
 #include "study/device_pool.h"
 #include "study/sweep_runner.h"
+#include "util/alloc_guard.h"
 #include "util/crc.h"
 #include "wireless/packet.h"
 
@@ -325,6 +326,23 @@ void BM_Crc8(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Crc8)->Arg(11)->Arg(64);
+
+/// Cost of the AllocGuard interposer on the allocator itself: a
+/// new/delete pair with the counting operator new linked in (linking
+/// bench against ds_util pulls the interposer object in). No guard
+/// scope is active — this is the tax every allocation in a
+/// guard-linked binary pays, scope or not: two thread_local counter
+/// bumps. Arg 0 = 16 B (SBO-ish), Arg 1 = 4 KiB (page-ish).
+void BM_AllocGuardOverhead(benchmark::State& state) {
+  const std::size_t size = state.range(0) ? 4096 : 16;
+  for (auto _ : state) {
+    auto* p = new char[size];
+    benchmark::DoNotOptimize(p);
+    delete[] p;
+  }
+  state.counters["interposer_linked"] = util::alloc_interposer_linked() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_AllocGuardOverhead)->Arg(0)->Arg(1);
 
 /// The whole DistScroll firmware task set on the cooperative scheduler:
 /// how much of the PIC's 1 ms tick budget does the prototype use?

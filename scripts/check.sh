@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-shot pre-merge gate: configure, build, and test the flavours the
+# determinism contract cares about.
+#
+#   default      lint + unit + property + golden + perf   (the full gate)
+#   tracing-off  same labels minus perf — proves tracing compiled out
+#                changes no behaviour (perf baselines are recorded for
+#                the tracing build, so the compare would just skip)
+#   asan-ubsan   unit + fuzz under ASan/UBSan (+ the gcc/clang extra
+#                UBSan checks CMakeLists.txt adds per compiler)
+#
+# The ds_lint sweep also runs at build time (tools/CMakeLists.txt makes
+# lint_tree an ALL target), so a dirty tree fails `cmake --build` before
+# ctest even starts.
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_flavour() {
+  local preset="$1" labels="$2"
+  echo "==> [${preset}] configure + build"
+  cmake --preset "${preset}" >/dev/null
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "==> [${preset}] ctest -L '${labels}'"
+  ctest --preset "${preset}" -L "${labels}" --output-on-failure
+}
+
+run_flavour default     'lint|unit|property|golden|perf'
+run_flavour tracing-off 'lint|unit|property|golden'
+run_flavour asan-ubsan  'unit|fuzz'
+
+echo "==> all flavours green"

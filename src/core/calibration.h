@@ -38,6 +38,7 @@ struct CalibrationResult {
 /// readings averaged per point.
 [[nodiscard]] std::vector<CalibrationSample> sweep(
     util::Centimeters from, util::Centimeters to, double step_cm,
+    // ds-lint: allow(no-std-function-hot-path) calibration is a one-shot workflow, not a sample path
     const std::function<util::AdcCounts(util::Centimeters)>& read, int repeats = 4);
 
 }  // namespace distscroll::core

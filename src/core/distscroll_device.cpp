@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/stage_timer.h"
+#include "util/hot_path.h"
 
 namespace distscroll::core {
 
@@ -308,6 +309,12 @@ void DistScrollDevice::apply_entry(std::size_t absolute_index) {
   }
 }
 
+// The per-sample firmware path: steady-state allocation-free (DS_HOT is
+// lint-enforced; tests/alloc_guard_test.cpp pins it empirically).
+// Cursor moves leave the region — redraw() builds display strings and
+// may allocate, which is why it is outside the markers: the no-alloc
+// claim is the *sampling* loop, holding distance steady.
+DS_HOT_BEGIN
 void DistScrollDevice::firmware_tick() {
   if (!powered_) return;
   auto& mcu = board_.mcu();
@@ -433,6 +440,7 @@ void DistScrollDevice::firmware_tick() {
     send_state_frame();
   }
 }
+DS_HOT_END
 
 bool DistScrollDevice::load_calibration_from_eeprom() {
   const auto calibration = CalibrationStore::load(eeprom_);
@@ -576,6 +584,7 @@ void DistScrollDevice::redraw() {
   bottom_driver_.show(debug, -1);
 }
 
+DS_HOT_BEGIN
 void DistScrollDevice::send_state_frame() {
   wireless::StateReport report;
   report.adc_counts = last_counts_.value;
@@ -585,14 +594,19 @@ void DistScrollDevice::send_state_frame() {
   for (std::size_t i = 0; i < debouncers_.size(); ++i) {
     if (debouncers_[i].pressed()) report.buttons |= static_cast<std::uint8_t>(1u << i);
   }
-  wireless::Frame frame;
-  frame.type = wireless::FrameType::State;
-  frame.seq = telemetry_seq_++;
-  frame.payload = report.pack();
-  for (std::uint8_t byte : wireless::encode(frame)) {
-    board_.uart().transmit(byte);
+  // Stack-buffer encode (bytes identical to wireless::encode): the
+  // state frame fires every telemetry_divider ticks, squarely inside
+  // the sample loop's no-allocation contract.
+  std::array<std::uint8_t, wireless::StateReport::kPackedSize> payload{};
+  report.pack_into(payload);
+  std::array<std::uint8_t, wireless::kMaxEncodedFrame> wire{};
+  const std::size_t wire_len =
+      wireless::encode_into(wireless::FrameType::State, telemetry_seq_++, payload, wire);
+  for (std::size_t i = 0; i < wire_len; ++i) {
+    board_.uart().transmit(wire[i]);
   }
   board_.mcu().charge_cycles(120);
 }
+DS_HOT_END
 
 }  // namespace distscroll::core

@@ -110,10 +110,12 @@ class DistScrollDevice {
   /// The hand holding the device: true body-to-device distance over
   /// time. Owning form — a setup-time boundary; the firmware reads it
   /// through a FunctionRef view on the sampling path.
+  // ds-lint: allow(no-std-function-hot-path) owning setup-time slot; sampling uses the _ref view
   void set_distance_provider(std::function<util::Centimeters(util::Seconds)> provider);
   /// Non-owning form for hot callers that already own a stable callable.
   void set_distance_provider_ref(DistanceProvider provider);
   /// Device tilt (for the accelerometer; the tilt baselines reuse it).
+  // ds-lint: allow(no-std-function-hot-path) owning setup-time slot; sampling uses the _ref view
   void set_tilt_provider(std::function<util::Radians(util::Seconds)> provider);
   void set_tilt_provider_ref(TiltProvider provider);
   /// What the sensor looks at (clothing, lab coat, reflective vest...).
@@ -163,6 +165,7 @@ class DistScrollDevice {
     std::size_t depth;  // depth after the event
   };
   [[nodiscard]] const std::vector<SelectionEvent>& selections() const { return selections_; }
+  // ds-lint: allow(no-std-function-hot-path) fires per leaf activation (seconds apart), not per sample
   void on_leaf_activated(std::function<void(const SelectionEvent&)> cb) {
     leaf_callback_ = std::move(cb);
   }
@@ -187,6 +190,7 @@ class DistScrollDevice {
   /// for recorded AdcRead streams. Returning nullopt holds the previous
   /// counts (the zero-order hold a stalled sensor would give). Cycle
   /// accounting is unchanged, so the MCU budget stays comparable.
+  // ds-lint: allow(no-std-function-hot-path) replay-only hook; owning slot set once per replay
   void set_counts_override(std::function<std::optional<util::AdcCounts>()> source) {
     counts_override_ = std::move(source);
   }
@@ -251,10 +255,13 @@ class DistScrollDevice {
 
   // Providers: owning slots filled at the setup boundary, read through
   // the non-owning two-pointer views on the sampling path.
+  // ds-lint: allow(no-std-function-hot-path) owning setup-time slot behind the FunctionRef view
   std::function<util::Centimeters(util::Seconds)> distance_owner_;
+  // ds-lint: allow(no-std-function-hot-path) owning setup-time slot behind the FunctionRef view
   std::function<util::Radians(util::Seconds)> tilt_owner_;
   DistanceProvider distance_provider_;
   TiltProvider tilt_provider_;
+  // ds-lint: allow(no-std-function-hot-path) replay-only; a replay session sets it once
   std::function<std::optional<util::AdcCounts>()> counts_override_;
   obs::Tracer* tracer_ = nullptr;
 
@@ -285,6 +292,7 @@ class DistScrollDevice {
   util::AdcCounts last_counts_{0};
   std::uint64_t redraws_ = 0;
   std::vector<SelectionEvent> selections_;
+  // ds-lint: allow(no-std-function-hot-path) invoked per leaf activation, not per sample
   std::function<void(const SelectionEvent&)> leaf_callback_;
 };
 

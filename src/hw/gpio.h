@@ -18,6 +18,7 @@ enum class PinMode : std::uint8_t { Input, Output };
 
 class Gpio {
  public:
+  // ds-lint: allow(no-std-function-hot-path) wired once at board setup; fires per edge, not per sample
   using EdgeCallback = std::function<void(std::size_t pin, PinLevel level)>;
 
   explicit Gpio(std::size_t pin_count);

@@ -62,6 +62,7 @@ class Mcu {
   // --- timers -------------------------------------------------------------
   /// Start a periodic timer interrupt. The handler runs on the event
   /// queue every `period`. Returns a timer id; stop with stop_timer.
+  // ds-lint: allow(no-std-function-hot-path) owning boundary: the timer outlives its registrant's frame
   std::size_t start_timer(util::Seconds period, std::function<void()> handler);
   void stop_timer(std::size_t timer);
 
@@ -92,6 +93,7 @@ class Mcu {
   std::vector<Allocation> flash_allocations_;
   struct Timer {
     util::Seconds period{0.0};
+    // ds-lint: allow(no-std-function-hot-path) owning slot; per-tick dispatch is one erased call, no alloc
     std::function<void()> handler;
     bool active = false;
   };

@@ -34,6 +34,7 @@ class Scheduler {
   /// Register a periodic task. `period_ticks` >= 1; `cycles` is the
   /// task's worst-case execution cost charged per run.
   std::size_t add_task(std::string name, int period_ticks, std::uint64_t cycles,
+                       // ds-lint: allow(no-std-function-hot-path) registration is setup-time
                        std::function<void()> body) {
     assert(period_ticks >= 1 && body);
     tasks_.push_back({std::move(name), period_ticks, cycles, std::move(body), 0, 0});
@@ -86,6 +87,7 @@ class Scheduler {
     std::string name;
     int period_ticks;
     std::uint64_t cycles;
+    // ds-lint: allow(no-std-function-hot-path) owning slot filled at add_task; dispatch never rebinds
     std::function<void()> body;
     std::uint64_t runs;
     int phase;  // stagger start; counts up to period

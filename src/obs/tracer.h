@@ -23,6 +23,7 @@
 
 #include "obs/trace_event.h"
 #include "sim/event_queue.h"
+#include "util/hot_path.h"
 
 // Compile-time master switch. The build defines
 // DISTSCROLL_TRACING_ENABLED=0 (CMake option DISTSCROLL_TRACING=OFF)
@@ -75,6 +76,10 @@ class Tracer {
   void set_time(double time_s) { manual_time_s_ = time_s; }
 
   // --- the hot path -----------------------------------------------------
+  // Allocation-free by construction (the ring is pre-sized; a full ring
+  // overwrites, never grows) — lint-enforced here, pinned at runtime by
+  // the AllocGuard test.
+  DS_HOT_BEGIN
   void record(EventKind kind, std::uint32_t a, std::uint32_t b) {
     record_at(clock_ ? clock_->now().value : manual_time_s_, kind, a, b);
   }
@@ -93,6 +98,7 @@ class Tracer {
       ++dropped_;  // oldest event just got overwritten
     }
   }
+  DS_HOT_END
 
   // --- inspection -------------------------------------------------------
   [[nodiscard]] std::size_t size() const { return size_; }

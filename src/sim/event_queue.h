@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/clock.h"
+#include "util/hot_path.h"
 #include "util/units.h"
 
 namespace distscroll::sim {
@@ -35,9 +36,15 @@ class EventQueue {
 
   /// Schedule `cb` at absolute simulated time `when`. Scheduling in the
   /// past clamps to now (the event fires next).
+  // Steady-state allocation-free: the heap and slot table grow only
+  // while the calendar is deeper than it has ever been; a session at
+  // its working depth recycles capacity (clear() keeps it). Pinned by
+  // the AllocGuard schedule/dispatch test.
+  DS_HOT_BEGIN
   Handle schedule_at(util::Seconds when, Callback cb) {
     if (when < clock_.now()) when = clock_.now();
     const std::uint32_t slot = acquire_slot(std::move(cb));
+    // ds-lint: allow(no-alloc-markers) amortised growth: no-op at recycled capacity
     heap_.push_back(HeapEntry{when.value, seq_++, slot, slots_[slot].generation});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++live_;
@@ -157,6 +164,7 @@ class EventQueue {
       slots_[slot].callback = std::move(cb);
       return slot;
     }
+    // ds-lint: allow(no-alloc-markers) cold path: only when deeper than ever before
     slots_.push_back(Slot{std::move(cb), 1});
     return static_cast<std::uint32_t>(slots_.size() - 1);
   }
@@ -165,6 +173,7 @@ class EventQueue {
   void release_slot(std::uint32_t slot) {
     slots_[slot].callback = nullptr;
     ++slots_[slot].generation;
+    // ds-lint: allow(no-alloc-markers) free list never outgrows the slot table
     free_slots_.push_back(slot);
   }
 
@@ -176,6 +185,7 @@ class EventQueue {
       heap_.pop_back();
     }
   }
+  DS_HOT_END
 
   SimClock clock_;
   std::vector<HeapEntry> heap_;

@@ -22,6 +22,7 @@
 #include "menu/menu.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
+#include "util/hot_path.h"
 
 namespace distscroll::study {
 
@@ -30,10 +31,15 @@ class DeviceSession {
   /// Hand out a device initialised for (config, menu_root, rng): the
   /// first call constructs it, later calls clear the calendar and reset
   /// the device in place.
+  // Warm reuse is the steady state and must stay allocation-free —
+  // that IS the pool's reason to exist (pinned by the AllocGuard
+  // pooled-reuse test).
+  DS_HOT_BEGIN
   core::DistScrollDevice& acquire(const core::DistScrollDevice::Config& config,
                                   const menu::MenuNode& menu_root, sim::Rng rng) {
     if (!device_) {
       queue_.clear();
+      // ds-lint: allow(no-alloc-markers) cold path: the one-time first construction
       device_.emplace(config, menu_root, queue_, rng);
     } else {
       queue_.clear();  // BEFORE device reset: pending events hold timer indices
@@ -41,6 +47,7 @@ class DeviceSession {
     }
     return *device_;
   }
+  DS_HOT_END
 
   [[nodiscard]] sim::EventQueue& queue() { return queue_; }
 

@@ -17,6 +17,7 @@ std::size_t resolve_sweep_threads(std::size_t requested) {
 }
 
 double sweep_wall_clock_s() {
+  // ds-lint: allow(no-wallclock) the BENCH json wall metric: measures the host, never feeds sim state
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration<double>(now).count();
 }

@@ -1,0 +1,130 @@
+#include "util/alloc_guard.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+// Sanitizer builds bring their own allocator interceptors; interposing
+// underneath them fights over the same symbols. Compile the interposer
+// out there — alloc_interposer_linked() reports the truth either way.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DS_ALLOC_INTERPOSER 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define DS_ALLOC_INTERPOSER 0
+#else
+#define DS_ALLOC_INTERPOSER 1
+#endif
+#else
+#define DS_ALLOC_INTERPOSER 1
+#endif
+
+namespace distscroll::util {
+namespace {
+
+// Plain thread-local PODs: zero-initialised at thread start, no dynamic
+// init, so counting is safe from the very first allocation (including
+// ones made during static initialisation of other TUs).
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_deallocations = 0;
+thread_local std::uint64_t t_bytes = 0;
+
+}  // namespace
+
+AllocCounters alloc_counters() noexcept {
+  return AllocCounters{t_allocations, t_deallocations, t_bytes};
+}
+
+bool alloc_interposer_linked() noexcept { return DS_ALLOC_INTERPOSER != 0; }
+
+void AllocGuard::check_and_disarm() noexcept {
+  armed_ = false;
+  if (!alloc_interposer_linked()) return;  // sanitizer build: nothing measured
+  const std::uint64_t n = allocations();
+  if (n == 0) return;
+  std::fprintf(stderr,
+               "DS_ASSERT_NO_ALLOC violated at %s:%d: %llu allocation(s), %llu byte(s) "
+               "inside a no-alloc scope\n",
+               file_ != nullptr ? file_ : "<unknown>", line_,
+               static_cast<unsigned long long>(n),
+               static_cast<unsigned long long>(bytes()));
+  std::abort();
+}
+
+}  // namespace distscroll::util
+
+#if DS_ALLOC_INTERPOSER
+
+namespace {
+
+inline void* ds_alloc(std::size_t size) {
+  ++distscroll::util::t_allocations;
+  distscroll::util::t_bytes += size;
+  return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* ds_alloc_aligned(std::size_t size, std::size_t alignment) {
+  ++distscroll::util::t_allocations;
+  distscroll::util::t_bytes += size;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size != 0 ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+inline void ds_free(void* p) noexcept {
+  if (p != nullptr) ++distscroll::util::t_deallocations;
+  std::free(p);
+}
+
+}  // namespace
+
+// Replaceable global allocation functions ([new.delete]): count, then
+// forward to malloc/free. posix_memalign serves the aligned forms so
+// every pointer is free()-compatible.
+void* operator new(std::size_t size) {
+  void* p = ds_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = ds_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept { return ds_alloc(size); }
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept { return ds_alloc(size); }
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = ds_alloc_aligned(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = ds_alloc_aligned(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t alignment, const std::nothrow_t&) noexcept {
+  return ds_alloc_aligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return ds_alloc_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { ds_free(p); }
+void operator delete[](void* p) noexcept { ds_free(p); }
+void operator delete(void* p, std::size_t) noexcept { ds_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { ds_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { ds_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { ds_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { ds_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { ds_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { ds_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { ds_free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { ds_free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept { ds_free(p); }
+
+#endif  // DS_ALLOC_INTERPOSER

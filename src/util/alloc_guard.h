@@ -1,0 +1,96 @@
+// AllocGuard: runtime enforcement of the "zero steady-state allocation"
+// claims (the dynamic half of the DS_HOT contract in hot_path.h).
+//
+// ds_allocguard interposes the global operator new/delete family with
+// thin wrappers that bump thread-local counters and forward to malloc/
+// free. The interposition is link-time and passive: with no guard scope
+// in flight the cost is two thread-local increments per allocation —
+// BM_AllocGuardOverhead pins that at nanoseconds — and binaries that
+// never reference AllocGuard don't pull the interposer in at all (it
+// lives in the same object file, so the linker drags it in exactly when
+// a guard is used).
+//
+// Usage, the hard-assert form (works in tests and benches alike):
+//
+//   DS_ASSERT_NO_ALLOC {
+//     queue.run_until(t + 1.0);   // any allocation aborts with file:line
+//   }
+//
+// and the inspectable form for EXPECT-style tests:
+//
+//   util::AllocGuard guard;
+//   tracer.record_at(...);
+//   EXPECT_EQ(guard.allocations(), 0u);
+//
+// Counters are thread-local, so a guard only sees its own thread — a
+// parallel sweep's other workers can allocate freely without tripping
+// it, which is exactly the per-thread session-kernel claim.
+//
+// Sanitizer builds (ASan/TSan) ship their own allocator interceptors;
+// interposing underneath them would fight over the same symbols, so the
+// interposer compiles out there and interposer_linked() reports false —
+// guard-based tests skip instead of silently passing.
+#pragma once
+
+#include <cstdint>
+
+namespace distscroll::util {
+
+/// This thread's allocation counters since thread start (monotone).
+struct AllocCounters {
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Snapshot of the calling thread's counters.
+[[nodiscard]] AllocCounters alloc_counters() noexcept;
+
+/// True when the operator new/delete interposer is actually in this
+/// binary (linked, and not compiled out for a sanitizer build). Tests
+/// must check this: without the interposer a guard trivially sees zero.
+[[nodiscard]] bool alloc_interposer_linked() noexcept;
+
+/// RAII window over the thread's allocation counters.
+class AllocGuard {
+ public:
+  AllocGuard() noexcept : AllocGuard(nullptr, 0) {}
+  AllocGuard(const char* file, int line) noexcept
+      : start_(alloc_counters()), file_(file), line_(line) {}
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Allocations on this thread since construction.
+  [[nodiscard]] std::uint64_t allocations() const noexcept {
+    return alloc_counters().allocations - start_.allocations;
+  }
+  [[nodiscard]] std::uint64_t deallocations() const noexcept {
+    return alloc_counters().deallocations - start_.deallocations;
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return alloc_counters().bytes - start_.bytes;
+  }
+
+  // --- DS_ASSERT_NO_ALLOC plumbing (for-scope idiom) ---------------------
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  /// Abort with a file:line diagnostic if the scope allocated. Called
+  /// once by the DS_ASSERT_NO_ALLOC for-idiom after its body runs.
+  void check_and_disarm() noexcept;
+
+ private:
+  AllocCounters start_;
+  const char* file_;
+  int line_;
+  bool armed_ = true;
+};
+
+}  // namespace distscroll::util
+
+/// Hard-assert scope: the body runs exactly once; any heap allocation on
+/// this thread inside it aborts the process with a file:line diagnostic.
+/// Requires the interposer (aborts with a clear message when it is not
+/// linked, so a mis-linked test can't silently pass).
+#define DS_ASSERT_NO_ALLOC                                                          \
+  for (::distscroll::util::AllocGuard ds_alloc_guard_{__FILE__, __LINE__};          \
+       ds_alloc_guard_.armed(); ds_alloc_guard_.check_and_disarm())

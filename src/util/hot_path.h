@@ -1,0 +1,17 @@
+// DS_HOT region markers: the static half of the no-allocation contract.
+//
+// Bracketing code with DS_HOT_BEGIN / DS_HOT_END declares "this region
+// is steady-state allocation-free". The markers expand to nothing — they
+// cost zero at runtime — but tools/ds_lint scans the bracketed region
+// for lexical allocation markers (new, make_unique, container growth
+// calls) and fails the build on a hit. Amortised-growth lines that are
+// provably warm-path-free (recycled capacity) carry a
+// `// ds-lint: allow(no-alloc-markers)` with the reason.
+//
+// The runtime half is util::AllocGuard (alloc_guard.h): tests wrap the
+// same regions in DS_ASSERT_NO_ALLOC scopes, so the claim is pinned both
+// at the source level (every build) and empirically (ctest).
+#pragma once
+
+#define DS_HOT_BEGIN
+#define DS_HOT_END

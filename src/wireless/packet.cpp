@@ -7,14 +7,18 @@
 namespace distscroll::wireless {
 
 std::vector<std::uint8_t> StateReport::pack() const {
-  return {
-      static_cast<std::uint8_t>(adc_counts & 0xFF),
-      static_cast<std::uint8_t>((adc_counts >> 8) & 0xFF),
-      menu_depth,
-      cursor_index,
-      level_size,
-      buttons,
-  };
+  std::vector<std::uint8_t> out(kPackedSize);
+  pack_into(std::span<std::uint8_t, kPackedSize>(out.data(), kPackedSize));
+  return out;
+}
+
+void StateReport::pack_into(std::span<std::uint8_t, kPackedSize> out) const {
+  out[0] = static_cast<std::uint8_t>(adc_counts & 0xFF);
+  out[1] = static_cast<std::uint8_t>((adc_counts >> 8) & 0xFF);
+  out[2] = menu_depth;
+  out[3] = cursor_index;
+  out[4] = level_size;
+  out[5] = buttons;
 }
 
 std::optional<StateReport> StateReport::unpack(std::span<const std::uint8_t> payload) {
@@ -28,19 +32,24 @@ std::optional<StateReport> StateReport::unpack(std::span<const std::uint8_t> pay
   return r;
 }
 
-std::vector<std::uint8_t> encode(const Frame& frame) {
-  assert(frame.payload.size() <= kMaxPayload);
-  std::vector<std::uint8_t> wire;
-  wire.reserve(4 + frame.payload.size() + 1);
-  wire.push_back(kSyncByte);
-  const auto len = static_cast<std::uint8_t>(2 + frame.payload.size());  // TYPE SEQ PAYLOAD
-  wire.push_back(len);
-  wire.push_back(static_cast<std::uint8_t>(frame.type));
-  wire.push_back(frame.seq);
-  wire.insert(wire.end(), frame.payload.begin(), frame.payload.end());
+std::size_t encode_into(FrameType type, std::uint8_t seq, std::span<const std::uint8_t> payload,
+                        std::span<std::uint8_t> out) {
+  assert(payload.size() <= kMaxPayload);
+  const std::size_t total = payload.size() + 5;
+  assert(out.size() >= total);
+  out[0] = kSyncByte;
+  out[1] = static_cast<std::uint8_t>(2 + payload.size());  // LEN: TYPE SEQ PAYLOAD
+  out[2] = static_cast<std::uint8_t>(type);
+  out[3] = seq;
+  for (std::size_t i = 0; i < payload.size(); ++i) out[4 + i] = payload[i];
   // CRC over LEN..PAYLOAD (everything after sync).
-  const std::uint8_t crc = util::crc8({wire.data() + 1, wire.size() - 1});
-  wire.push_back(crc);
+  out[total - 1] = util::crc8({out.data() + 1, total - 2});
+  return total;
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  std::vector<std::uint8_t> wire(frame.payload.size() + 5);
+  wire.resize(encode_into(frame.type, frame.seq, frame.payload, wire));
   return wire;
 }
 

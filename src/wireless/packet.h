@@ -19,6 +19,8 @@ namespace distscroll::wireless {
 
 inline constexpr std::uint8_t kSyncByte = 0xAA;
 inline constexpr std::size_t kMaxPayload = 32;
+/// Largest wire image: SYNC LEN TYPE SEQ payload CRC.
+inline constexpr std::size_t kMaxEncodedFrame = 5 + kMaxPayload;
 
 enum class FrameType : std::uint8_t {
   State = 0x01,      // periodic device state (cursor, adc, buttons)
@@ -52,12 +54,25 @@ struct StateReport {
   std::uint8_t level_size = 0;
   std::uint8_t buttons = 0;       // bit i = button i pressed
 
+  static constexpr std::size_t kPackedSize = 6;
+
   [[nodiscard]] std::vector<std::uint8_t> pack() const;
+  /// Allocation-free pack for the firmware's steady-state telemetry
+  /// path (same bytes as pack()).
+  void pack_into(std::span<std::uint8_t, kPackedSize> out) const;
   [[nodiscard]] static std::optional<StateReport> unpack(std::span<const std::uint8_t> payload);
 };
 
 /// Serialize a frame to wire bytes (with sync, length and CRC).
 [[nodiscard]] std::vector<std::uint8_t> encode(const Frame& frame);
+
+/// Allocation-free encode: write the wire image of (type, seq, payload)
+/// into `out` (sized >= payload.size() + 5) and return the byte count.
+/// Byte-identical to encode() — the firmware's per-tick telemetry uses
+/// this form so the device sample loop stays heap-free (the DS_HOT /
+/// AllocGuard contract), while host-side code keeps the vector form.
+std::size_t encode_into(FrameType type, std::uint8_t seq, std::span<const std::uint8_t> payload,
+                        std::span<std::uint8_t> out);
 
 /// Incremental decoder: feed bytes as they arrive, pops complete valid
 /// frames.

@@ -1,0 +1,12 @@
+// Fixture: pragma-once. This header deliberately lacks #pragma once;
+// the diagnostic lands on line 1.
+#ifndef FIXTURE_NO_PRAGMA_ONCE_H
+#define FIXTURE_NO_PRAGMA_ONCE_H
+
+namespace fixture {
+
+inline int guarded_the_old_way() { return 1; }
+
+}  // namespace fixture
+
+#endif  // FIXTURE_NO_PRAGMA_ONCE_H

@@ -1,0 +1,13 @@
+// Fixture: file-scope allowlist. src/obs/ owns wall timing, so the
+// registry exempts this whole directory from no-wallclock — nothing in
+// this file may be flagged, with no suppression comments needed.
+#include <chrono>
+
+namespace fixture {
+
+double wall_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: no-wallclock. Expected findings are listed in expected.txt;
+// the suppressed and member-call uses below must stay silent.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+struct FakeClock {
+  double time() const { return 0.0; }   // member named time(): not a violation
+  double clock() const { return 0.0; }  // member named clock(): not a violation
+};
+
+double violations() {
+  auto a = std::chrono::system_clock::now();           // finding: system_clock
+  auto b = std::chrono::steady_clock::now();           // finding: steady_clock
+  auto c = std::chrono::high_resolution_clock::now();  // finding
+  auto t = std::time(nullptr);                         // finding: std::time(
+  auto k = clock();                                    // finding: bare clock(
+  (void)a;
+  (void)b;
+  (void)c;
+  return static_cast<double>(t) + static_cast<double>(k);
+}
+
+double silent() {
+  FakeClock fake;
+  const double member = fake.time() + fake.clock();  // member calls: silent
+  // The string and the comment below must never fire:
+  const char* prose = "std::chrono::system_clock::now() in a string";
+  // a comment mentioning steady_clock stays silent too
+  // ds-lint: allow(no-wallclock) fixture: pin that a justified suppression silences the rule
+  auto suppressed = std::chrono::system_clock::now();
+  (void)prose;
+  (void)suppressed;
+  return member;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: no-unordered-iteration. Iteration visits hash order — banned
+// in deterministic subsystems; keyed lookups stay silent.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+int violations() {
+  std::unordered_map<std::string, int> tally;
+  std::unordered_set<int> seen;
+  tally["a"] = 1;
+  int sum = 0;
+  for (const auto& [key, value] : tally) {  // finding: range-for over tally
+    sum += value + static_cast<int>(key.size());
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // finding: iterator walk of seen
+    sum += *it;
+  }
+  return sum;
+}
+
+int silent() {
+  std::unordered_map<std::string, int> lookup;
+  lookup["hit"] = 7;
+  const auto found = lookup.find("hit");  // keyed lookup: silent
+  std::vector<int> ordered = {1, 2, 3};
+  int sum = 0;
+  for (int v : ordered) sum += v;  // ordered container: silent
+  // ds-lint: allow(no-unordered-iteration) fixture: suppressed iteration stays silent
+  for (const auto& [key, value] : lookup) sum += value + static_cast<int>(key.size());
+  return sum + (found != lookup.end() ? found->second : 0);
+}
+
+}  // namespace fixture
