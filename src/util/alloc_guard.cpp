@@ -40,7 +40,20 @@ bool alloc_interposer_linked() noexcept { return DS_ALLOC_INTERPOSER != 0; }
 
 void AllocGuard::check_and_disarm() noexcept {
   armed_ = false;
-  if (!alloc_interposer_linked()) return;  // sanitizer build: nothing measured
+  if (!alloc_interposer_linked()) {
+    // Sanitizer build: the interposer is compiled out and this scope
+    // measured nothing. Warn once so vacuous guards are visible.
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: DS_ASSERT_NO_ALLOC at %s:%d is vacuous: the allocation "
+                   "interposer is compiled out in this build (sanitizer); guard scopes "
+                   "measure nothing\n",
+                   file_ != nullptr ? file_ : "<unknown>", line_);
+    }
+    return;
+  }
   const std::uint64_t n = allocations();
   if (n == 0) return;
   std::fprintf(stderr,

@@ -89,8 +89,10 @@ class AllocGuard {
 
 /// Hard-assert scope: the body runs exactly once; any heap allocation on
 /// this thread inside it aborts the process with a file:line diagnostic.
-/// Requires the interposer (aborts with a clear message when it is not
-/// linked, so a mis-linked test can't silently pass).
+/// Requires the interposer: when it is compiled out (sanitizer builds)
+/// the scope measures nothing, so the check is vacuous — a one-time
+/// stderr warning flags that, and tests that must not silently pass
+/// should gate on alloc_interposer_linked() and skip instead.
 #define DS_ASSERT_NO_ALLOC                                                          \
   for (::distscroll::util::AllocGuard ds_alloc_guard_{__FILE__, __LINE__};          \
        ds_alloc_guard_.armed(); ds_alloc_guard_.check_and_disarm())

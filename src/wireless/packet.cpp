@@ -1,7 +1,5 @@
 #include "wireless/packet.h"
 
-#include <cassert>
-
 #include "util/crc.h"
 
 namespace distscroll::wireless {
@@ -34,9 +32,11 @@ std::optional<StateReport> StateReport::unpack(std::span<const std::uint8_t> pay
 
 std::size_t encode_into(FrameType type, std::uint8_t seq, std::span<const std::uint8_t> payload,
                         std::span<std::uint8_t> out) {
-  assert(payload.size() <= kMaxPayload);
+  // Unconditional (not assert): an undersized span must never become an
+  // out-of-bounds write in NDEBUG builds.
+  if (payload.size() > kMaxPayload) return 0;
   const std::size_t total = payload.size() + 5;
-  assert(out.size() >= total);
+  if (out.size() < total) return 0;
   out[0] = kSyncByte;
   out[1] = static_cast<std::uint8_t>(2 + payload.size());  // LEN: TYPE SEQ PAYLOAD
   out[2] = static_cast<std::uint8_t>(type);

@@ -68,6 +68,8 @@ struct StateReport {
 
 /// Allocation-free encode: write the wire image of (type, seq, payload)
 /// into `out` (sized >= payload.size() + 5) and return the byte count.
+/// Returns 0 without writing when the payload exceeds kMaxPayload or
+/// `out` is too small — never writes out of bounds.
 /// Byte-identical to encode() — the firmware's per-tick telemetry uses
 /// this form so the device sample loop stays heap-free (the DS_HOT /
 /// AllocGuard contract), while host-side code keeps the vector form.

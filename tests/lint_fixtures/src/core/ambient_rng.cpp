@@ -1,0 +1,30 @@
+// Fixture: no-ambient-rng. The determinism contract routes every random
+// draw through sim::Rng; ambient engines below must each be flagged.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int violations() {
+  std::random_device entropy;                  // finding: random_device
+  std::mt19937 twister(entropy());             // finding: mt19937
+  std::mt19937_64 twister64(12345);            // finding: mt19937_64
+  std::default_random_engine engine;           // finding: default_random_engine
+  const int ambient = rand();                  // finding: rand(
+  srand(42);                                   // finding: srand(
+  return static_cast<int>(twister() + twister64() + engine()) + ambient;
+}
+
+int strand(int operand);  // identifier containing "rand": silent
+
+int silent(int operand) {
+  // ds-lint: allow(no-ambient-rng) fixture: a justified suppression must silence the rule
+  const int suppressed = rand();
+  // A comment mentioning rand() and mt19937 must stay silent, as must
+  // the string below.
+  const char* prose = "call rand() and srand() here";
+  (void)prose;
+  return strand(operand) + suppressed;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: no-alloc-markers. Allocation markers inside a DS_HOT region
+// are flagged; the same constructs outside the region, and a justified
+// amortised-growth line inside it, stay silent.
+#include <memory>
+#include <vector>
+
+#define DS_HOT_BEGIN
+#define DS_HOT_END
+
+namespace fixture {
+
+std::vector<int> cold_setup() {
+  std::vector<int> warmup;
+  warmup.reserve(64);            // outside DS_HOT: silent
+  warmup.push_back(1);           // outside DS_HOT: silent
+  auto scratch = new int(7);     // outside DS_HOT: silent
+  delete scratch;
+  return warmup;
+}
+
+DS_HOT_BEGIN
+int hot_loop(std::vector<int>& buffer) {
+  auto leak = std::make_unique<int>(3);  // finding: make_unique
+  buffer.push_back(*leak);               // finding: push_back
+  buffer.resize(buffer.size() + 1);      // finding: resize
+  int* raw = new int(9);                 // finding: new
+  const int total = buffer.back() + *raw;
+  delete raw;
+  // ds-lint: allow(no-alloc-markers) fixture: justified amortised growth stays silent
+  buffer.push_back(total);
+  const int renewed = total;  // identifier containing "new": silent
+  return renewed;
+}
+DS_HOT_END
+
+}  // namespace fixture

@@ -687,11 +687,20 @@ int main(int argc, char** argv) {
     for (const fs::path& p : paths) {
       const fs::path abs = fs::absolute(p);
       if (fs::is_directory(abs)) {
-        for (const auto& entry : fs::recursive_directory_iterator(abs)) {
-          if (!entry.is_directory() && lintable(entry.path())) {
-            lint_file(root, entry.path(), only_rule, findings);
-            ++files_scanned;
+        for (auto it = fs::recursive_directory_iterator(abs);
+             it != fs::recursive_directory_iterator(); ++it) {
+          if (it->is_directory()) {
+            const std::string name = it->path().filename().string();
+            // Same skips as the default walk: fixtures violate on
+            // purpose; build trees aren't ours.
+            if (name == "lint_fixtures" || starts_with(name, "build")) {
+              it.disable_recursion_pending();
+            }
+            continue;
           }
+          if (!lintable(it->path())) continue;
+          lint_file(root, it->path(), only_rule, findings);
+          ++files_scanned;
         }
       } else if (fs::exists(abs)) {
         lint_file(root, abs, only_rule, findings);
