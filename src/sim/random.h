@@ -17,6 +17,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 
 namespace distscroll::sim {
 
@@ -80,6 +81,75 @@ class Rng {
     has_spare_ = true;
     return mean + stddev * radius * std::cos(kTwoPi * u2);
   }
+
+  /// Both normals of one Box–Muller round at once. Unlike gaussian(),
+  /// this neither reads nor writes the cached spare, so its engine
+  /// consumption is invariant to call history: always exactly two raw
+  /// draws (modulo the u1 == 0 rejection, probability 2^-53 per round).
+  /// gaussian()'s spare cache makes a single call eat 0 or 2 draws
+  /// depending on what ran before — batch code that pre-draws noise
+  /// arrays must use this primitive (via fill_gaussian) or interleaving
+  /// changes would silently shift every downstream stream.
+  void gaussian_pair(double mean, double stddev, double& first, double& second) {
+    if (stddev <= 0.0) {  // exact mean, no draw consumed (matches gaussian())
+      first = mean;
+      second = mean;
+      return;
+    }
+    double u1;
+    do {
+      u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    first = mean + stddev * radius * std::cos(kTwoPi * u2);
+    second = mean + stddev * radius * std::sin(kTwoPi * u2);
+  }
+
+  /// Fill `out` with normals, consuming the engine IDENTICALLY to
+  /// out.size() sequential gaussian() calls: a cached spare satisfies
+  /// the first element, full pairs cover the middle, and an odd tail
+  /// leaves a spare cached — so scalar and batched callers can be
+  /// interleaved on the same stream without divergence (the batched ==
+  /// scalar bit-identity contract of the session kernel).
+  void fill_gaussian(std::span<double> out, double mean, double stddev) {
+    if (stddev <= 0.0) {
+      for (double& value : out) value = mean;
+      return;
+    }
+    std::size_t i = 0;
+    if (i < out.size() && has_spare_) {
+      has_spare_ = false;
+      out[i++] = mean + stddev * spare_;
+    }
+    while (i + 1 < out.size()) {
+      gaussian_pair(mean, stddev, out[i], out[i + 1]);
+      i += 2;
+    }
+    if (i < out.size()) out[i] = gaussian(mean, stddev);  // caches the spare
+  }
+
+  /// Fill `out` with raw draws — exactly out.size() engine steps, same
+  /// stream as out.size() next_u64() calls.
+  void fill_u64(std::span<std::uint64_t> out) {
+    for (std::uint64_t& value : out) value = next_u64();
+  }
+
+  /// Raw engine state snapshot (excludes the Box–Muller spare cache).
+  /// Lets tests count draws: step a clone until states match again.
+  struct EngineState {
+    std::uint64_t word[4];
+
+    friend bool operator==(const EngineState&, const EngineState&) = default;
+  };
+  [[nodiscard]] EngineState engine_state() const {
+    return {{state_[0], state_[1], state_[2], state_[3]}};
+  }
+
+  /// Whether a Box–Muller spare is cached (the history gaussian() keys
+  /// its consumption on).
+  [[nodiscard]] bool has_cached_spare() const { return has_spare_; }
 
   /// true with probability p.
   bool bernoulli(double p) {

@@ -8,7 +8,7 @@ namespace distscroll::util {
 bool write_bench_report(const BenchReport& report) {
   std::ofstream out("BENCH_" + report.name + ".json");
   if (!out) return false;
-  char buffer[640];
+  char buffer[832];
   std::snprintf(buffer, sizeof(buffer),
                 "{\n"
                 "  \"name\": \"%s\",\n"
@@ -19,11 +19,17 @@ bool write_bench_report(const BenchReport& report) {
                 "  \"parallel_wall_s\": %.6f,\n"
                 "  \"speedup\": %.3f,\n"
                 "  \"bit_identical\": %s,\n"
-                "  \"tracing_compiled\": %s",
+                "  \"tracing_compiled\": %s,\n"
+                "  \"batch_width\": %zu,\n"
+                "  \"batched_wall_s\": %.6f,\n"
+                "  \"batch_speedup\": %.3f,\n"
+                "  \"batch_bit_identical\": %s",
                 report.name.c_str(), report.cells, report.threads, report.hardware_threads,
                 report.sequential_wall_s, report.parallel_wall_s, report.speedup,
                 report.bit_identical ? "true" : "false",
-                report.tracing_compiled ? "true" : "false");
+                report.tracing_compiled ? "true" : "false", report.batch_width,
+                report.batched_wall_s, report.batch_speedup,
+                report.batch_bit_identical ? "true" : "false");
   out << buffer;
   if (!report.metrics_json.empty()) {
     out << ",\n  \"metrics\": {\n" << report.metrics_json << "\n  }";

@@ -21,6 +21,11 @@ struct BenchReport {
   double speedup = 1.0;          // sequential / parallel
   bool bit_identical = true;     // parallel results byte-equal to sequential
   bool tracing_compiled = true;  // DISTSCROLL_TRACING at build time
+  // Batched (SoA session-kernel) pass, sequential like the reference.
+  std::size_t batch_width = 0;   // lanes per group; 0 = no batched pass ran
+  double batched_wall_s = 0.0;
+  double batch_speedup = 1.0;    // sequential / batched
+  bool batch_bit_identical = true;  // batched results byte-equal to sequential
   /// Pre-rendered `"name": value` lines for the nested "metrics" object
   /// (obs::MetricsRegistry::to_json_fields(4); util cannot link obs).
   /// Empty = no metrics block emitted.

@@ -1,0 +1,97 @@
+// CLI contract of the bench_compare perf gate.
+//
+// Pins the exit-code protocol the scripts and ctest wiring rely on:
+// 0 = gates passed, 1 = regression, 64 = malformed command line,
+// 77 = environment not comparable (ctest SKIP_RETURN_CODE). The
+// malformed-input cases are the regression this PR fixed: --tolerance
+// used to go through atof, which silently truncated "1,6" to 1.0 and
+// "1.6x" to 1.6 instead of rejecting them.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+int run_bench_compare(const std::string& args) {
+  const std::string cmd =
+      std::string(DS_BENCH_COMPARE_BIN) + " " + args + " >/dev/null 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  const int status = pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Minimal BENCH report the tool's flat-key parser accepts.
+void write_report(const std::string& dir, double sequential_wall_s, bool batch_bit_identical,
+                  double batched_wall_s) {
+  std::ofstream out(dir + "/BENCH_cli_case.json");
+  out << "{\n"
+      << "  \"name\": \"cli_case\",\n"
+      << "  \"cells\": 4,\n"
+      << "  \"threads\": 1,\n"
+      << "  \"hardware_threads\": 1,\n"
+      << "  \"sequential_wall_s\": " << sequential_wall_s << ",\n"
+      << "  \"parallel_wall_s\": " << sequential_wall_s << ",\n"
+      << "  \"speedup\": 1.0,\n"
+      << "  \"bit_identical\": true,\n"
+      << "  \"tracing_compiled\": true,\n"
+      << "  \"batch_width\": 8,\n"
+      << "  \"batched_wall_s\": " << batched_wall_s << ",\n"
+      << "  \"batch_speedup\": 1.0,\n"
+      << "  \"batch_bit_identical\": " << (batch_bit_identical ? "true" : "false") << "\n"
+      << "}\n";
+}
+
+std::string make_case_dirs(const std::string& tag, double baseline_s, double fresh_s,
+                           bool fresh_batch_identical, double fresh_batched_s) {
+  const std::string root = testing::TempDir() + "/bench_compare_" + tag;
+  const std::string baseline = root + "/baseline";
+  const std::string fresh = root + "/fresh";
+  std::filesystem::create_directories(baseline);
+  std::filesystem::create_directories(fresh);
+  write_report(baseline, baseline_s, true, baseline_s);
+  write_report(fresh, fresh_s, fresh_batch_identical, fresh_batched_s);
+  return root;
+}
+
+TEST(BenchCompareCli, LocaleCommaToleranceIsUsageError) {
+  EXPECT_EQ(run_bench_compare(". --tolerance 1,6"), 64);
+}
+
+TEST(BenchCompareCli, TrailingGarbageToleranceIsUsageError) {
+  EXPECT_EQ(run_bench_compare(". --tolerance 1.6x"), 64);
+}
+
+TEST(BenchCompareCli, NonPositiveToleranceIsUsageError) {
+  EXPECT_EQ(run_bench_compare(". --tolerance -2"), 64);
+  EXPECT_EQ(run_bench_compare(". --tolerance 0"), 64);
+}
+
+TEST(BenchCompareCli, MissingBaselineDirIsUsageError) {
+  EXPECT_EQ(run_bench_compare("--tolerance 1.5"), 64);
+}
+
+TEST(BenchCompareCli, MatchingReportsPass) {
+  const std::string root = make_case_dirs("ok", 1.0, 1.0, true, 1.0);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 0);
+}
+
+TEST(BenchCompareCli, SequentialRegressionFails) {
+  const std::string root = make_case_dirs("seq_regress", 1.0, 2.0, true, 1.0);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, BatchedDivergenceFails) {
+  const std::string root = make_case_dirs("batch_diverged", 1.0, 1.0, false, 1.0);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, BatchedRegressionFails) {
+  const std::string root = make_case_dirs("batch_regress", 1.0, 1.0, true, 2.0);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+}  // namespace

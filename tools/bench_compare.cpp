@@ -12,9 +12,16 @@
 //     baseline * tolerance (default 1.25 — wall clocks on shared CI
 //     machines are noisy; the gate is for real regressions, not jitter).
 //
+// When both reports carry a batched pass (batch_width > 0) the gate
+// additionally checks that the fresh batched run kept bit-identity with
+// the scalar reference and that its wall clock is no worse than
+// baseline * tolerance. Baselines written before the batched pass
+// existed simply lack the fields and gate the scalar numbers only.
+//
 // Exit codes: 0 = all gates passed, 1 = regression or unreadable
-// report, 77 = environment not comparable (hardware thread count or
-// tracing build flavour differs from the baseline's) — wired into
+// report, 64 = malformed command line (e.g. an unparseable
+// --tolerance), 77 = environment not comparable (hardware thread count
+// or tracing build flavour differs from the baseline's) — wired into
 // ctest as SKIP_RETURN_CODE so a laptop checkout doesn't fail the
 // `perf` label against CI-recorded baselines.
 #include <cstdio>
@@ -31,6 +38,7 @@ namespace {
 
 constexpr int kExitOk = 0;
 constexpr int kExitFail = 1;
+constexpr int kExitUsage = 64;  // EX_USAGE: malformed command line
 constexpr int kExitSkip = 77;
 
 struct Report {
@@ -39,6 +47,10 @@ struct Report {
   double hardware_threads = 0.0;
   bool bit_identical = false;
   bool tracing_compiled = false;
+  // Batched-pass fields; absent in pre-batch baselines.
+  double batch_width = 0.0;
+  double batched_wall_s = 0.0;
+  bool batch_bit_identical = true;
 };
 
 /// First top-level `"key": <number|bool>` occurrence. The BENCH format
@@ -76,7 +88,22 @@ std::optional<Report> load_report(const std::filesystem::path& path) {
   report.hardware_threads = *hw;
   report.bit_identical = *bit != 0.0;
   report.tracing_compiled = *tracing != 0.0;
+  // Optional batched-pass fields. find_number matches the exact quoted
+  // key, so "batch_bit_identical" cannot collide with "bit_identical".
+  report.batch_width = find_number(json, "batch_width").value_or(0.0);
+  report.batched_wall_s = find_number(json, "batched_wall_s").value_or(0.0);
+  report.batch_bit_identical = find_number(json, "batch_bit_identical").value_or(1.0) != 0.0;
   return report;
+}
+
+/// Strict double parse: the whole argument must be consumed. Rejects
+/// locale-shaped ("1,6") and suffixed ("1.6x") inputs that atof would
+/// silently truncate to a wrong gate.
+std::optional<double> parse_full_double(const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return std::nullopt;
+  return value;
 }
 
 }  // namespace
@@ -92,17 +119,26 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
-      tolerance = std::atof(argv[++i]);
+      const char* text = argv[++i];
+      const auto parsed = parse_full_double(text);
+      if (!parsed || !(*parsed > 0.0)) {
+        std::fprintf(stderr,
+                     "bench_compare: invalid --tolerance '%s' (expect a positive number, "
+                     "e.g. 1.25)\n",
+                     text);
+        return kExitUsage;
+      }
+      tolerance = *parsed;
     } else if (std::strcmp(argv[i], "--allow-missing") == 0) {
       allow_missing = true;
     } else {
       positional.emplace_back(argv[i]);
     }
   }
-  if (positional.empty() || tolerance <= 0.0) {
+  if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline_dir> [<fresh_dir>] [--tolerance <factor>]\n");
-    return kExitFail;
+    return kExitUsage;
   }
   baseline_dir = positional[0];
   if (positional.size() > 1) fresh_dir = positional[1];
@@ -145,6 +181,12 @@ int main(int argc, char** argv) {
       ++failed;
       continue;
     }
+    if (fresh->batch_width > 0.0 && !fresh->batch_bit_identical) {
+      std::fprintf(stderr, "[fail] %s: batched results diverged from sequential\n",
+                   file.c_str());
+      ++failed;
+      continue;
+    }
     const double limit = baseline->sequential_wall_s * tolerance;
     if (fresh->sequential_wall_s > limit) {
       std::fprintf(stderr, "[fail] %s: sequential %.3fs exceeds baseline %.3fs x %.2f = %.3fs\n",
@@ -152,6 +194,17 @@ int main(int argc, char** argv) {
                    tolerance, limit);
       ++failed;
       continue;
+    }
+    if (baseline->batch_width > 0.0 && fresh->batch_width > 0.0) {
+      const double batch_limit = baseline->batched_wall_s * tolerance;
+      if (fresh->batched_wall_s > batch_limit) {
+        std::fprintf(stderr,
+                     "[fail] %s: batched %.3fs exceeds baseline %.3fs x %.2f = %.3fs\n",
+                     file.c_str(), fresh->batched_wall_s, baseline->batched_wall_s, tolerance,
+                     batch_limit);
+        ++failed;
+        continue;
+      }
     }
     std::printf("[ ok ] %s: sequential %.3fs vs baseline %.3fs (limit %.3fs)\n", file.c_str(),
                 fresh->sequential_wall_s, baseline->sequential_wall_s, limit);
