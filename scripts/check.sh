@@ -2,7 +2,7 @@
 # One-shot pre-merge gate: configure, build, and test the flavours the
 # determinism contract cares about.
 #
-#   default      lint + unit + property + golden + batch  (the full gate)
+#   default      lint + unit + property + golden + batch + fleet  (the full gate)
 #   tracing-off  same labels — proves tracing compiled out changes no
 #                behaviour (perf baselines are recorded for the tracing
 #                build, so the perf gate only runs on default)
@@ -55,8 +55,8 @@ run_perf_gate() {
   rm -f "${log}"
 }
 
-run_flavour default     'lint|unit|property|golden|batch'
-run_flavour tracing-off 'lint|unit|property|golden|batch'
+run_flavour default     'lint|unit|property|golden|batch|fleet'
+run_flavour tracing-off 'lint|unit|property|golden|batch|fleet'
 run_flavour asan-ubsan  'unit|fuzz'
 run_perf_gate
 

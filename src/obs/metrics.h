@@ -78,6 +78,29 @@ class Histogram {
     sum_ = 0.0;
   }
 
+  /// Bucket-wise accumulate (the fleet fold-then-merge path; both sides
+  /// must share a bucket layout). False (state untouched) on a
+  /// bucket-count mismatch.
+  [[nodiscard]] bool merge(const Histogram& other) {
+    if (other.buckets_.size() != buckets_.size()) return false;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return true;
+  }
+
+  /// Restore a snapshot taken via count()/sum()/buckets() — the fleet
+  /// checkpoint/resume path. False (state untouched) on a bucket-count
+  /// mismatch, which would mean a foreign serialisation.
+  [[nodiscard]] bool restore(std::uint64_t count, double sum,
+                             const std::vector<std::uint64_t>& buckets) {
+    if (buckets.size() != buckets_.size()) return false;
+    buckets_ = buckets;
+    count_ = count;
+    sum_ = sum;
+    return true;
+  }
+
  private:
   Config config_;
   std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);

@@ -168,6 +168,11 @@ class SweepRunner {
 /// registry needs no locking and the parallel pass stays untouched.
 [[nodiscard]] double sweep_wall_clock_s();
 
+/// Process-wide peak resident set in bytes (getrusage ru_maxrss; 0 where
+/// unavailable). Monotone over the process lifetime — flatness across a
+/// growing workload is how the fleet bench proves O(aggregates) memory.
+[[nodiscard]] std::size_t sweep_peak_rss_bytes();
+
 /// Default lane count for the batched pass: big enough to amortise the
 /// shared island-table cache and keep several sessions resident, small
 /// enough that a group's scratch stays cache-friendly on the 1-2 CPU
@@ -241,6 +246,7 @@ std::vector<Result> timed_sweep_batched(const std::string& name, std::size_t cou
                              ? report.sequential_wall_s / report.batched_wall_s
                              : 1.0;
   report.batch_bit_identical = batched_results == expected;
+  report.peak_rss_bytes = sweep_peak_rss_bytes();
   registry.counter("cells_run").set(count);
   report.metrics_json = registry.to_json_fields(4);
   write_bench_report(report);

@@ -8,7 +8,7 @@ namespace distscroll::util {
 bool write_bench_report(const BenchReport& report) {
   std::ofstream out("BENCH_" + report.name + ".json");
   if (!out) return false;
-  char buffer[832];
+  char buffer[1024];
   std::snprintf(buffer, sizeof(buffer),
                 "{\n"
                 "  \"name\": \"%s\",\n"
@@ -23,14 +23,32 @@ bool write_bench_report(const BenchReport& report) {
                 "  \"batch_width\": %zu,\n"
                 "  \"batched_wall_s\": %.6f,\n"
                 "  \"batch_speedup\": %.3f,\n"
-                "  \"batch_bit_identical\": %s",
+                "  \"batch_bit_identical\": %s,\n"
+                "  \"peak_rss_bytes\": %zu",
                 report.name.c_str(), report.cells, report.threads, report.hardware_threads,
                 report.sequential_wall_s, report.parallel_wall_s, report.speedup,
                 report.bit_identical ? "true" : "false",
                 report.tracing_compiled ? "true" : "false", report.batch_width,
                 report.batched_wall_s, report.batch_speedup,
-                report.batch_bit_identical ? "true" : "false");
+                report.batch_bit_identical ? "true" : "false", report.peak_rss_bytes);
   out << buffer;
+  if (report.fleet_participants > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\n"
+                  "  \"fleet_participants\": %zu,\n"
+                  "  \"fleet_wall_s\": %.6f,\n"
+                  "  \"fleet_participants_per_s\": %.1f,\n"
+                  "  \"fleet_threads\": %zu,\n"
+                  "  \"fleet_bit_identical\": %s,\n"
+                  "  \"fleet_resume_bit_identical\": %s,\n"
+                  "  \"fleet_rss_growth\": %.4f",
+                  report.fleet_participants, report.fleet_wall_s,
+                  report.fleet_participants_per_s, report.fleet_threads,
+                  report.fleet_bit_identical ? "true" : "false",
+                  report.fleet_resume_bit_identical ? "true" : "false",
+                  report.fleet_rss_growth);
+    out << buffer;
+  }
   if (!report.metrics_json.empty()) {
     out << ",\n  \"metrics\": {\n" << report.metrics_json << "\n  }";
   }

@@ -26,6 +26,22 @@ struct BenchReport {
   double batched_wall_s = 0.0;
   double batch_speedup = 1.0;    // sequential / batched
   bool batch_bit_identical = true;  // batched results byte-equal to sequential
+  /// Peak resident set (getrusage ru_maxrss) at report time, bytes.
+  /// Process-wide and monotone; 0 where the probe is unavailable.
+  std::size_t peak_rss_bytes = 0;
+  // Streaming fleet pass (study::run_fleet); the block is emitted only
+  // when fleet_participants > 0, so sweep-only benches are unaffected.
+  std::size_t fleet_participants = 0;
+  double fleet_wall_s = 0.0;             // reference (1-thread) fleet pass
+  double fleet_participants_per_s = 0.0;
+  std::size_t fleet_threads = 0;         // resolved thread count of the parallel pass
+  /// Merged aggregates byte-equal across every thread count exercised.
+  bool fleet_bit_identical = true;
+  /// Full run byte-equal to a forced checkpoint + resume split.
+  bool fleet_resume_bit_identical = true;
+  /// Peak-RSS ratio (full run / small-run baseline); ~1.0 proves
+  /// O(aggregates) memory. 0 when the probe is unavailable.
+  double fleet_rss_growth = 0.0;
   /// Pre-rendered `"name": value` lines for the nested "metrics" object
   /// (obs::MetricsRegistry::to_json_fields(4); util cannot link obs).
   /// Empty = no metrics block emitted.

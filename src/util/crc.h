@@ -13,4 +13,8 @@ namespace distscroll::util {
 /// CRC-16-CCITT (poly 0x1021), init 0xFFFF.
 [[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data);
 
+/// CRC-32 (IEEE 802.3, reflected poly 0xEDB88320, init/xorout
+/// 0xFFFFFFFF) — integrity check of fleet checkpoint files.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
 }  // namespace distscroll::util

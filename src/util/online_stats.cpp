@@ -1,0 +1,9 @@
+#include "util/online_stats.h"
+
+#include <cmath>
+
+namespace distscroll::util {
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace distscroll::util

@@ -1,0 +1,88 @@
+// Mergeable online aggregates for streaming (fleet-scale) studies.
+//
+// The fleet engine folds millions of per-trial results into aggregates
+// instead of storing them, so study memory is O(aggregates) rather than
+// O(cells). OnlineMoments is the single-pass Welford recurrence plus
+// Chan's parallel-merge formula: fold a chunk sequentially, then merge
+// chunk aggregates in FIXED chunk-index order and the result is
+// bit-identical at any thread count (floating-point addition does not
+// commute, so the merge ORDER, not just the merge maths, is part of the
+// determinism contract — see DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+
+namespace distscroll::util {
+
+/// Streaming count/mean/variance/min/max. POD state, allocation-free,
+/// byte-serialisable for checkpoints.
+class OnlineMoments {
+ public:
+  /// Welford update.
+  void add(double x) {
+    if (count_ == 0) {
+      min_ = x;
+      max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Chan et al. pairwise combine: this <- this ++ other. Merging the
+  /// same sequence of aggregates in the same order is bit-stable.
+  void merge(const OnlineMoments& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double total = na + nb;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * (nb / total);
+    m2_ += other.m2_ + delta * delta * (na * nb / total);
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  void clear() { *this = OnlineMoments{}; }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1), matching util::summarize.
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Raw state for byte-exact checkpoint serialisation.
+  [[nodiscard]] double raw_mean() const { return mean_; }
+  [[nodiscard]] double raw_m2() const { return m2_; }
+  void restore(std::uint64_t count, double mean, double m2, double min, double max) {
+    count_ = count;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = min;
+    max_ = max;
+  }
+
+  friend bool operator==(const OnlineMoments&, const OnlineMoments&) = default;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace distscroll::util

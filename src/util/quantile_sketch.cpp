@@ -1,0 +1,108 @@
+#include "util/quantile_sketch.h"
+
+#include <algorithm>
+
+namespace distscroll::util {
+
+QuantileSketch::QuantileSketch() : levels_(kMaxLevels), parity_(kMaxLevels, 0) {
+  // Worst case per level: kCapacity-1 resident values plus a merge
+  // appending another kCapacity-1, plus promotions from below before
+  // this level's own compaction runs — 2*kCapacity bounds all of it.
+  for (auto& level : levels_) level.reserve(2 * kCapacity);
+}
+
+void QuantileSketch::add(double value) {
+  ++count_;
+  levels_[0].push_back(value);
+  for (std::size_t l = 0; l < kMaxLevels && levels_[l].size() >= kCapacity; ++l) compact(l);
+}
+
+void QuantileSketch::compact(std::size_t level) {
+  std::vector<double>& buffer = levels_[level];
+  std::sort(buffer.begin(), buffer.end());
+  // Compact an even count of items; an odd straggler (the largest after
+  // the sort — a deterministic choice) stays resident at this level so
+  // total weight is preserved exactly.
+  const std::size_t pairs = buffer.size() / 2;
+  const std::size_t keep_offset = parity_[level];
+  parity_[level] ^= 1;
+  if (level + 1 < kMaxLevels) {
+    std::vector<double>& up = levels_[level + 1];
+    for (std::size_t i = 0; i < pairs; ++i) up.push_back(buffer[2 * i + keep_offset]);
+  }
+  // else: level 31 overflow (~2.7e11 folds) — unreachable in practice;
+  // the selected items are dropped and quantile() stays rank-consistent
+  // because it walks actual buffer weights.
+  if (buffer.size() % 2 != 0) {
+    buffer[0] = buffer.back();
+    buffer.resize(1);
+  } else {
+    buffer.clear();
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  count_ += other.count_;
+  for (std::size_t l = 0; l < kMaxLevels; ++l) {
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(), other.levels_[l].end());
+  }
+  for (std::size_t l = 0; l < kMaxLevels; ++l) {
+    while (levels_[l].size() >= kCapacity) compact(l);
+  }
+}
+
+void QuantileSketch::clear() {
+  for (auto& level : levels_) level.clear();
+  std::fill(parity_.begin(), parity_.end(), 0);
+  count_ = 0;
+}
+
+double QuantileSketch::quantile(double p) const {
+  std::vector<std::pair<double, std::uint64_t>> weighted;  // (value, weight)
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < kMaxLevels; ++l) {
+    const std::uint64_t weight = std::uint64_t{1} << l;
+    for (const double v : levels_[l]) {
+      weighted.emplace_back(v, weight);
+      total += weight;
+    }
+  }
+  if (weighted.empty()) return 0.0;
+  std::sort(weighted.begin(), weighted.end());
+  const double target = std::clamp(p, 0.0, 1.0) * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (static_cast<double>(cumulative) >= target) return value;
+  }
+  return weighted.back().first;
+}
+
+void QuantileSketch::serialize(ByteWriter& out) const {
+  out.u64(count_);
+  for (std::size_t l = 0; l < kMaxLevels; ++l) {
+    out.u8(parity_[l]);
+    out.u32(static_cast<std::uint32_t>(levels_[l].size()));
+    for (const double v : levels_[l]) out.f64(v);
+  }
+}
+
+bool QuantileSketch::deserialize(ByteReader& in) {
+  clear();
+  if (!in.u64(count_)) return false;
+  for (std::size_t l = 0; l < kMaxLevels; ++l) {
+    if (!in.u8(parity_[l])) return false;
+    if (parity_[l] > 1) return false;
+    std::uint32_t size = 0;
+    if (!in.u32(size)) return false;
+    if (size > 2 * kCapacity) return false;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      double v = 0.0;
+      if (!in.f64(v)) return false;
+      levels_[l].push_back(v);
+    }
+  }
+  return true;
+}
+
+}  // namespace distscroll::util

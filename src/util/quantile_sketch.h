@@ -1,0 +1,76 @@
+// Deterministic mergeable quantile sketch (KLL-style compactor levels).
+//
+// The fleet engine needs percentiles over millions of streamed trial
+// times without storing them. This is a KLL/GK-family sketch with the
+// randomness removed: each level is a buffer of up to kCapacity values;
+// a full level is sorted and every other element (starting at a
+// per-level parity bit that flips after each compaction) is promoted to
+// the next level, where items carry twice the weight. The alternating
+// parity replaces KLL's coin flip, so the sketch is a pure function of
+// the folded value sequence — merged in fixed chunk order it is
+// bit-identical at any thread count, and its serialised bytes are part
+// of the checkpoint/resume identity contract (DESIGN.md §12).
+//
+// Rank error is O(1/kCapacity) of the total weight per query — with
+// k = 128 comfortably under 1% for the fleet percentile tables.
+//
+// add() is allocation-free after construction: every level buffer is
+// reserved to its worst-case size (2·kCapacity: a level holds at most
+// kCapacity-1 resident values and a merge appends at most that many
+// again), which is what lets the per-participant fold path run under
+// DS_ASSERT_NO_ALLOC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/checkpoint_io.h"
+
+namespace distscroll::util {
+
+class QuantileSketch {
+ public:
+  static constexpr std::size_t kCapacity = 128;  // values per level buffer
+  /// Level L holds weight-2^L items; level 31 is reached after roughly
+  /// kCapacity * 2^31 ≈ 2.7e11 folds — far beyond any fleet run.
+  static constexpr std::size_t kMaxLevels = 32;
+
+  QuantileSketch();
+
+  /// Fold one value. Never allocates (buffers are pre-reserved).
+  void add(double value);
+
+  /// this <- this ++ other, deterministically: level buffers are
+  /// concatenated and over-full levels compact exactly as during add().
+  void merge(const QuantileSketch& other);
+
+  /// Forget all folded values, keeping buffer capacity (cleared state
+  /// serialises identically to a freshly constructed sketch).
+  void clear();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Estimated p-quantile (p in [0,1]); 0 when empty. Allocates query
+  /// scratch — queries are cold-path only.
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Appends the exact state (count, per-level parity/size/values).
+  /// Byte-equal serialisations <=> identical sketch states.
+  void serialize(ByteWriter& out) const;
+  /// Restores a sketch serialised by serialize(); returns false on
+  /// truncated/invalid input (state is cleared either way).
+  [[nodiscard]] bool deserialize(ByteReader& in);
+
+  friend bool operator==(const QuantileSketch& a, const QuantileSketch& b) {
+    return a.count_ == b.count_ && a.parity_ == b.parity_ && a.levels_ == b.levels_;
+  }
+
+ private:
+  void compact(std::size_t level);
+
+  std::vector<std::vector<double>> levels_;  // levels_[L]: weight-2^L items
+  std::vector<std::uint8_t> parity_;         // next compaction keeps odd/even slots
+  std::uint64_t count_ = 0;                  // exact number of folded values
+};
+
+}  // namespace distscroll::util

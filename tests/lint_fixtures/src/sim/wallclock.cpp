@@ -16,10 +16,11 @@ double violations() {
   auto c = std::chrono::high_resolution_clock::now();  // finding
   auto t = std::time(nullptr);                         // finding: std::time(
   auto k = clock();                                    // finding: bare clock(
+  long rss = getrusage(0, nullptr);                    // finding: getrusage
   (void)a;
   (void)b;
   (void)c;
-  return static_cast<double>(t) + static_cast<double>(k);
+  return static_cast<double>(t) + static_cast<double>(k) + static_cast<double>(rss);
 }
 
 double silent() {

@@ -24,9 +24,20 @@ int run_bench_compare(const std::string& args) {
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
+/// Optional memory/fleet fields of a synthetic report. Zeroed fields
+/// are omitted, mimicking reports written before the fields existed.
+struct ExtraFields {
+  double peak_rss_bytes = 0.0;
+  double fleet_participants = 0.0;
+  double fleet_wall_s = 0.0;
+  bool fleet_bit_identical = true;
+  bool fleet_resume_bit_identical = true;
+  double fleet_rss_growth = 0.0;
+};
+
 /// Minimal BENCH report the tool's flat-key parser accepts.
 void write_report(const std::string& dir, double sequential_wall_s, bool batch_bit_identical,
-                  double batched_wall_s) {
+                  double batched_wall_s, const ExtraFields& extra = {}) {
   std::ofstream out(dir + "/BENCH_cli_case.json");
   out << "{\n"
       << "  \"name\": \"cli_case\",\n"
@@ -41,20 +52,44 @@ void write_report(const std::string& dir, double sequential_wall_s, bool batch_b
       << "  \"batch_width\": 8,\n"
       << "  \"batched_wall_s\": " << batched_wall_s << ",\n"
       << "  \"batch_speedup\": 1.0,\n"
-      << "  \"batch_bit_identical\": " << (batch_bit_identical ? "true" : "false") << "\n"
-      << "}\n";
+      << "  \"batch_bit_identical\": " << (batch_bit_identical ? "true" : "false");
+  if (extra.peak_rss_bytes > 0.0) {
+    out << ",\n  \"peak_rss_bytes\": " << static_cast<long long>(extra.peak_rss_bytes);
+  }
+  if (extra.fleet_participants > 0.0) {
+    out << ",\n  \"fleet_participants\": " << static_cast<long long>(extra.fleet_participants)
+        << ",\n  \"fleet_wall_s\": " << extra.fleet_wall_s
+        << ",\n  \"fleet_participants_per_s\": 1000.0"
+        << ",\n  \"fleet_threads\": 1"
+        << ",\n  \"fleet_bit_identical\": " << (extra.fleet_bit_identical ? "true" : "false")
+        << ",\n  \"fleet_resume_bit_identical\": "
+        << (extra.fleet_resume_bit_identical ? "true" : "false")
+        << ",\n  \"fleet_rss_growth\": " << extra.fleet_rss_growth;
+  }
+  out << "\n}\n";
 }
 
 std::string make_case_dirs(const std::string& tag, double baseline_s, double fresh_s,
-                           bool fresh_batch_identical, double fresh_batched_s) {
+                           bool fresh_batch_identical, double fresh_batched_s,
+                           const ExtraFields& baseline_extra = {},
+                           const ExtraFields& fresh_extra = {}) {
   const std::string root = testing::TempDir() + "/bench_compare_" + tag;
   const std::string baseline = root + "/baseline";
   const std::string fresh = root + "/fresh";
   std::filesystem::create_directories(baseline);
   std::filesystem::create_directories(fresh);
-  write_report(baseline, baseline_s, true, baseline_s);
-  write_report(fresh, fresh_s, fresh_batch_identical, fresh_batched_s);
+  write_report(baseline, baseline_s, true, baseline_s, baseline_extra);
+  write_report(fresh, fresh_s, fresh_batch_identical, fresh_batched_s, fresh_extra);
   return root;
+}
+
+ExtraFields healthy_fleet() {
+  ExtraFields extra;
+  extra.peak_rss_bytes = 100e6;
+  extra.fleet_participants = 100000;
+  extra.fleet_wall_s = 10.0;
+  extra.fleet_rss_growth = 1.02;
+  return extra;
 }
 
 TEST(BenchCompareCli, LocaleCommaToleranceIsUsageError) {
@@ -91,6 +126,61 @@ TEST(BenchCompareCli, BatchedDivergenceFails) {
 
 TEST(BenchCompareCli, BatchedRegressionFails) {
   const std::string root = make_case_dirs("batch_regress", 1.0, 1.0, true, 2.0);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+// --- memory + fleet gates -------------------------------------------------
+
+TEST(BenchCompareCli, HealthyFleetReportPasses) {
+  const std::string root = make_case_dirs("fleet_ok", 1.0, 1.0, true, 1.0, healthy_fleet(),
+                                          healthy_fleet());
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 0);
+}
+
+TEST(BenchCompareCli, ReportsWithoutNewFieldsStillPass) {
+  // Pre-fleet baselines lack peak_rss_bytes / fleet_* entirely; the new
+  // gates must skip, not fail, on the absent fields.
+  const std::string root = make_case_dirs("fleet_absent", 1.0, 1.0, true, 1.0);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 0);
+}
+
+TEST(BenchCompareCli, FleetThreadDivergenceFails) {
+  auto fresh = healthy_fleet();
+  fresh.fleet_bit_identical = false;
+  const std::string root =
+      make_case_dirs("fleet_diverged", 1.0, 1.0, true, 1.0, healthy_fleet(), fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, FleetResumeDivergenceFails) {
+  auto fresh = healthy_fleet();
+  fresh.fleet_resume_bit_identical = false;
+  const std::string root =
+      make_case_dirs("fleet_resume", 1.0, 1.0, true, 1.0, healthy_fleet(), fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, FleetWallRegressionFails) {
+  auto fresh = healthy_fleet();
+  fresh.fleet_wall_s = 20.0;  // baseline 10.0 x 1.5 = 15.0 < 20.0
+  const std::string root =
+      make_case_dirs("fleet_wall", 1.0, 1.0, true, 1.0, healthy_fleet(), fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, FleetRssGrowthBeyondFlatnessFails) {
+  auto fresh = healthy_fleet();
+  fresh.fleet_rss_growth = 1.4;  // > the fixed 1.10 flatness limit
+  const std::string root =
+      make_case_dirs("fleet_growth", 1.0, 1.0, true, 1.0, healthy_fleet(), fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, PeakRssRegressionFails) {
+  auto fresh = healthy_fleet();
+  fresh.peak_rss_bytes = 200e6;  // baseline 100e6 x 1.5 = 150e6 < 200e6
+  const std::string root =
+      make_case_dirs("rss_regress", 1.0, 1.0, true, 1.0, healthy_fleet(), fresh);
   EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
 }
 

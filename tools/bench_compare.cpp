@@ -18,6 +18,13 @@
 // baseline * tolerance. Baselines written before the batched pass
 // existed simply lack the fields and gate the scalar numbers only.
 //
+// Reports carrying peak_rss_bytes additionally gate memory against
+// baseline * tolerance, and streaming-fleet reports
+// (fleet_participants > 0) gate fleet wall clock, thread-count
+// bit-identity, checkpoint/resume bit-identity and RSS flatness
+// (growth ratio <= 1.10). Older baselines lack the fields and skip
+// those gates.
+//
 // Exit codes: 0 = all gates passed, 1 = regression or unreadable
 // report, 64 = malformed command line (e.g. an unparseable
 // --tolerance), 77 = environment not comparable (hardware thread count
@@ -41,6 +48,10 @@ constexpr int kExitFail = 1;
 constexpr int kExitUsage = 64;  // EX_USAGE: malformed command line
 constexpr int kExitSkip = 77;
 
+/// Fleet runs must keep peak RSS flat (within 10%) relative to their
+/// small-run baseline — the O(aggregates) memory contract.
+constexpr double kFleetRssFlatLimit = 1.10;
+
 struct Report {
   std::string name;
   double sequential_wall_s = 0.0;
@@ -51,6 +62,13 @@ struct Report {
   double batch_width = 0.0;
   double batched_wall_s = 0.0;
   bool batch_bit_identical = true;
+  // Memory + streaming-fleet fields; absent in older baselines.
+  double peak_rss_bytes = 0.0;
+  double fleet_participants = 0.0;
+  double fleet_wall_s = 0.0;
+  bool fleet_bit_identical = true;
+  bool fleet_resume_bit_identical = true;
+  double fleet_rss_growth = 0.0;
 };
 
 /// First top-level `"key": <number|bool>` occurrence. The BENCH format
@@ -93,6 +111,13 @@ std::optional<Report> load_report(const std::filesystem::path& path) {
   report.batch_width = find_number(json, "batch_width").value_or(0.0);
   report.batched_wall_s = find_number(json, "batched_wall_s").value_or(0.0);
   report.batch_bit_identical = find_number(json, "batch_bit_identical").value_or(1.0) != 0.0;
+  report.peak_rss_bytes = find_number(json, "peak_rss_bytes").value_or(0.0);
+  report.fleet_participants = find_number(json, "fleet_participants").value_or(0.0);
+  report.fleet_wall_s = find_number(json, "fleet_wall_s").value_or(0.0);
+  report.fleet_bit_identical = find_number(json, "fleet_bit_identical").value_or(1.0) != 0.0;
+  report.fleet_resume_bit_identical =
+      find_number(json, "fleet_resume_bit_identical").value_or(1.0) != 0.0;
+  report.fleet_rss_growth = find_number(json, "fleet_rss_growth").value_or(0.0);
   return report;
 }
 
@@ -202,6 +227,55 @@ int main(int argc, char** argv) {
                      "[fail] %s: batched %.3fs exceeds baseline %.3fs x %.2f = %.3fs\n",
                      file.c_str(), fresh->batched_wall_s, baseline->batched_wall_s, tolerance,
                      batch_limit);
+        ++failed;
+        continue;
+      }
+    }
+    // Streaming-fleet gates: bit-identity across thread counts and
+    // across checkpoint/resume are hard failures; the fleet wall clock
+    // gates like the other wall clocks; the RSS growth ratio is the
+    // bench's O(aggregates)-memory contract (flat within 10%).
+    if (fresh->fleet_participants > 0.0) {
+      if (!fresh->fleet_bit_identical) {
+        std::fprintf(stderr, "[fail] %s: fleet aggregates diverged across thread counts\n",
+                     file.c_str());
+        ++failed;
+        continue;
+      }
+      if (!fresh->fleet_resume_bit_identical) {
+        std::fprintf(stderr, "[fail] %s: fleet checkpoint/resume diverged from the full run\n",
+                     file.c_str());
+        ++failed;
+        continue;
+      }
+      if (baseline->fleet_participants > 0.0) {
+        const double fleet_limit = baseline->fleet_wall_s * tolerance;
+        if (fresh->fleet_wall_s > fleet_limit) {
+          std::fprintf(stderr, "[fail] %s: fleet %.3fs exceeds baseline %.3fs x %.2f = %.3fs\n",
+                       file.c_str(), fresh->fleet_wall_s, baseline->fleet_wall_s, tolerance,
+                       fleet_limit);
+          ++failed;
+          continue;
+        }
+      }
+      if (fresh->fleet_rss_growth > kFleetRssFlatLimit) {
+        std::fprintf(stderr,
+                     "[fail] %s: fleet peak RSS grew %.3fx over the small-run baseline "
+                     "(flatness limit %.2fx)\n",
+                     file.c_str(), fresh->fleet_rss_growth, kFleetRssFlatLimit);
+        ++failed;
+        continue;
+      }
+    }
+    // Peak-RSS trajectory: same tolerance philosophy as the wall
+    // clocks. Absent fields (0) in either report skip the gate.
+    if (baseline->peak_rss_bytes > 0.0 && fresh->peak_rss_bytes > 0.0) {
+      const double rss_limit = baseline->peak_rss_bytes * tolerance;
+      if (fresh->peak_rss_bytes > rss_limit) {
+        std::fprintf(stderr,
+                     "[fail] %s: peak RSS %.0f bytes exceeds baseline %.0f x %.2f = %.0f\n",
+                     file.c_str(), fresh->peak_rss_bytes, baseline->peak_rss_bytes, tolerance,
+                     rss_limit);
         ++failed;
         continue;
       }

@@ -304,6 +304,9 @@ void rule_no_wallclock(const SourceFile& src, Emit& out) {
   static const std::vector<std::string> kBanned = {
       "system_clock",  "steady_clock",  "high_resolution_clock",
       "gettimeofday",  "clock_gettime", "timespec_get",
+      // Host resource probes (peak RSS etc.) are observability, not sim
+      // state — like wall timing they live behind allowlisted accessors.
+      "getrusage",
   };
   for (std::size_t li = 0; li < src.code.size(); ++li) {
     const std::string& line = src.code[li];

@@ -1,0 +1,147 @@
+// fleet_run: drive a streaming fleet population study from the command
+// line — the operational face of study::run_fleet (the bench
+// exp_fleet_population is the measured face).
+//
+// Usage:
+//   fleet_run [--participants N] [--trials N] [--menu N] [--seed S]
+//             [--threads N] [--chunk N] [--window N] [--scalar]
+//             [--checkpoint PATH] [--checkpoint-every N] [--resume]
+//             [--stop-after N]
+//
+// --checkpoint PATH writes a versioned binary checkpoint at every
+// window where --checkpoint-every participants have elapsed (and always
+// at exit), so a killed run loses at most one window. --resume loads
+// PATH and continues from its cursor; the finished aggregates are
+// byte-identical to an uninterrupted run (the fleet determinism
+// contract, see DESIGN.md §12). --stop-after N folds only the first N
+// participants (rounded up to a chunk) and exits — the manual way to
+// produce a resumable half-run.
+//
+// Exit codes: 0 = ran (complete or stopped as asked), 1 = bad resume
+// file / unwritable checkpoint, 64 = malformed command line.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "study/fleet_study.h"
+#include "study/sweep_runner.h"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 64;
+
+/// Strict uint64 parse: whole argument, no sign, no suffix.
+bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0' || *text == '-') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fleet_run [--participants N] [--trials N] [--menu N] [--seed S]\n"
+               "                 [--threads N] [--chunk N] [--window N] [--scalar]\n"
+               "                 [--checkpoint PATH] [--checkpoint-every N] [--resume]\n"
+               "                 [--stop-after N]\n");
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using distscroll::study::FleetStudyConfig;
+
+  FleetStudyConfig config;
+  std::uint64_t stop_after = distscroll::study::kFleetRunAll;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_u64 = [&](std::uint64_t& out) {
+      return i + 1 < argc && parse_u64(argv[++i], out);
+    };
+    std::uint64_t value = 0;
+    if (std::strcmp(arg, "--participants") == 0) {
+      if (!next_u64(config.participants)) return usage();
+    } else if (std::strcmp(arg, "--trials") == 0) {
+      if (!next_u64(value) || value == 0) return usage();
+      config.trials_per_participant = static_cast<std::uint32_t>(value);
+    } else if (std::strcmp(arg, "--menu") == 0) {
+      if (!next_u64(value) || value < 2) return usage();
+      config.menu_size = static_cast<std::uint32_t>(value);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!next_u64(config.base_seed)) return usage();
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (!next_u64(value)) return usage();
+      config.threads = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--chunk") == 0) {
+      if (!next_u64(value) || value == 0) return usage();
+      config.chunk = value;
+    } else if (std::strcmp(arg, "--window") == 0) {
+      if (!next_u64(value) || value == 0) return usage();
+      config.window_chunks = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--scalar") == 0) {
+      config.batched = false;
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      if (i + 1 >= argc) return usage();
+      config.checkpoint_path = argv[++i];
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      if (!next_u64(config.checkpoint_every)) return usage();
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      config.resume = true;
+    } else if (std::strcmp(arg, "--stop-after") == 0) {
+      if (!next_u64(stop_after)) return usage();
+    } else {
+      std::fprintf(stderr, "fleet_run: unknown argument '%s'\n", arg);
+      return usage();
+    }
+  }
+  if (config.resume && config.checkpoint_path.empty()) {
+    std::fprintf(stderr, "fleet_run: --resume needs --checkpoint PATH\n");
+    return usage();
+  }
+
+  const double t0 = distscroll::study::sweep_wall_clock_s();
+  const auto result = distscroll::study::run_fleet(config, stop_after);
+  const double wall_s = distscroll::study::sweep_wall_clock_s() - t0;
+
+  if (result.status != distscroll::util::CheckpointStatus::Ok) {
+    std::fprintf(stderr, "fleet_run: %s\n", result.error.c_str());
+    return kExitFail;
+  }
+
+  const auto& agg = result.aggregates;
+  const double folded = static_cast<double>(result.cursor - result.resumed_from);
+  std::printf("fleet_run: %" PRIu64 "/%" PRIu64 " participants folded%s (%s body, %zu threads, "
+              "%.2f s, %.0f participants/s)\n",
+              result.cursor, config.participants, result.resumed ? " [resumed]" : "",
+              config.batched ? "batched" : "scalar",
+              distscroll::study::resolve_sweep_threads(config.threads),
+              wall_s, wall_s > 0.0 ? folded / wall_s : 0.0);
+  if (agg.trials() > 0) {
+    const double trials = static_cast<double>(agg.trials());
+    std::printf("  trials %" PRIu64 "  success %.4f  wrong/trial %.4f  overshoot/trial %.3f\n",
+                agg.trials(), static_cast<double>(agg.successes()) / trials,
+                static_cast<double>(agg.wrong_selections()) / trials,
+                static_cast<double>(agg.overshoots()) / trials);
+    std::printf("  time[s] mean %.3f sd %.3f  p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n",
+                agg.time_s().mean(), agg.time_s().stddev(), agg.time_sketch().quantile(0.50),
+                agg.time_sketch().quantile(0.90), agg.time_sketch().quantile(0.99),
+                agg.time_s().max());
+    std::printf("  throughput[bits/s] mean %.3f  expertise mean %.3f\n",
+                agg.throughput_bits_s().mean(), agg.expertise().mean());
+    std::printf("  gloves none/thin/thick %" PRIu64 "/%" PRIu64 "/%" PRIu64 "\n",
+                agg.glove_counts()[0], agg.glove_counts()[1], agg.glove_counts()[2]);
+  }
+  if (!result.complete) {
+    std::printf("  stopped at a chunk boundary; resume with --resume --checkpoint %s\n",
+                config.checkpoint_path.empty() ? "<path>" : config.checkpoint_path.c_str());
+  }
+  return kExitOk;
+}
