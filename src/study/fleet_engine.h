@@ -85,15 +85,21 @@ class FleetEngine {
   /// WindowHook: void(const Agg& global, uint64 cursor) — called after
   ///   each merged window at a chunk-aligned cursor (checkpoint point).
   ///
-  /// `cursor` must be chunk-aligned (a value previously produced by
-  /// run(), or 0); `stop_after` is rounded UP to the next chunk
-  /// boundary so interruption never splits a chunk's fold.
+  /// `cursor` must be a value previously produced by run() or 0 —
+  /// chunk-aligned, except that a finished run's cursor is
+  /// `participants` (possibly mid-chunk), which resumes as a no-op;
+  /// `stop_after` is rounded UP to the next chunk boundary so
+  /// interruption never splits a chunk's fold.
   template <typename ChunkBody, typename WindowHook>
   void run(Agg& global, std::uint64_t& cursor, std::uint64_t stop_after, ChunkBody&& body,
            WindowHook&& window_hook) {
     const std::uint64_t chunk = config_.chunk;
     const std::uint64_t total_chunks = (config_.participants + chunk - 1) / chunk;
-    std::uint64_t next_chunk = cursor / chunk;
+    // Ceiling, not floor: a COMPLETE run's cursor == participants, which
+    // is not chunk-aligned when participants % chunk != 0. Flooring would
+    // re-fold the final partial chunk into the already-complete aggregate
+    // on a no-op resume (silent double-count).
+    std::uint64_t next_chunk = (cursor + chunk - 1) / chunk;
     const std::uint64_t stop_chunk =
         std::min(total_chunks, stop_after >= config_.participants
                                    ? total_chunks

@@ -269,9 +269,11 @@ FleetRunResult run_fleet(const FleetStudyConfig& config, std::uint64_t stop_afte
       }
       result.resumed = true;
       result.resumed_from = result.cursor;
-    } else if (read_status != util::CheckpointStatus::IoError) {
-      // An intact-looking file that fails validation must abort; only a
-      // MISSING file (IoError) means "nothing to resume, start fresh".
+    } else if (read_status != util::CheckpointStatus::Missing) {
+      // Only a MISSING file means "nothing to resume, start fresh". A
+      // file that exists but fails to read (IoError: permissions,
+      // transient FS error) or to validate must abort — restarting from
+      // zero over a real checkpoint is never silent.
       result.status = read_status;
       result.error = std::string("resume: ") + util::to_string(read_status);
       return result;

@@ -1,5 +1,8 @@
 #include "util/checkpoint_io.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 
@@ -15,6 +18,7 @@ const char* to_string(CheckpointStatus status) {
     case CheckpointStatus::BadVersion: return "unsupported checkpoint version";
     case CheckpointStatus::Corrupt: return "corrupt checkpoint (truncated or CRC mismatch)";
     case CheckpointStatus::Mismatch: return "checkpoint belongs to a different run configuration";
+    case CheckpointStatus::Missing: return "no checkpoint file";
   }
   return "unknown";
 }
@@ -50,6 +54,14 @@ CheckpointStatus write_checkpoint_file(const std::string& path, std::uint32_t ma
 CheckpointStatus read_checkpoint_file(const std::string& path, std::uint32_t magic,
                                       std::uint32_t version,
                                       std::vector<std::uint8_t>& payload) {
+  // Missing vs unreadable matters to callers: a resume may start fresh
+  // on Missing, but must NOT silently restart over a file that exists
+  // yet can't be read (permissions, transient FS error, wrong type).
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return errno == ENOENT ? CheckpointStatus::Missing : CheckpointStatus::IoError;
+  }
+  if (!S_ISREG(st.st_mode)) return CheckpointStatus::IoError;
   std::ifstream in(path, std::ios::binary);
   if (!in) return CheckpointStatus::IoError;
   std::vector<std::uint8_t> frame((std::istreambuf_iterator<char>(in)),

@@ -88,11 +88,13 @@ class ByteReader {
 
 enum class CheckpointStatus : std::uint8_t {
   Ok,
-  IoError,        // file missing/unreadable/unwritable
+  IoError,        // file EXISTS but can't be read (perms, not a regular
+                  // file, transient FS error) — or can't be written
   BadMagic,       // not this kind of checkpoint
   BadVersion,     // schema mismatch
   Corrupt,        // truncated frame or CRC mismatch
   Mismatch,       // intact checkpoint for a DIFFERENT run configuration
+  Missing,        // file does not exist (the only "start fresh" signal)
 };
 
 [[nodiscard]] const char* to_string(CheckpointStatus status);

@@ -5,9 +5,12 @@
 namespace distscroll::util {
 
 QuantileSketch::QuantileSketch() : levels_(kMaxLevels), parity_(kMaxLevels, 0) {
-  // Worst case per level: kCapacity-1 resident values plus a merge
-  // appending another kCapacity-1, plus promotions from below before
-  // this level's own compaction runs — 2*kCapacity bounds all of it.
+  // 2*kCapacity bounds the add() path only (kCapacity-1 resident plus
+  // one compaction's worth of promotions from below), keeping warm
+  // add() allocation-free — the DS_ASSERT_NO_ALLOC contract. merge()
+  // may transiently exceed it (two near-full levels concatenate, then
+  // receive promotions before their own compaction) and reallocate;
+  // merge happens once per chunk, off the per-value hot path.
   for (auto& level : levels_) level.reserve(2 * kCapacity);
 }
 

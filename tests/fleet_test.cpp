@@ -199,7 +199,11 @@ TEST(CheckpointIo, RoundTripAndTamperDetection) {
             util::CheckpointStatus::BadMagic);
   EXPECT_EQ(util::read_checkpoint_file(path, 0x1234, 8, read_back),
             util::CheckpointStatus::BadVersion);
+  // Missing (nothing to resume) is distinct from IoError (a file that
+  // exists but cannot be read — here, a directory).
   EXPECT_EQ(util::read_checkpoint_file("does_not_exist.ckpt", 0x1234, 7, read_back),
+            util::CheckpointStatus::Missing);
+  EXPECT_EQ(util::read_checkpoint_file(".", 0x1234, 7, read_back),
             util::CheckpointStatus::IoError);
 
   // Flip one payload byte on disk: CRC must catch it.
@@ -487,6 +491,30 @@ TEST(FleetStudy, PeriodicCheckpointsLandOnWindows) {
   EXPECT_TRUE(noop.complete);
   EXPECT_EQ(noop.resumed_from, config.participants);
   EXPECT_EQ(noop.aggregates.to_bytes(), result.aggregates.to_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(FleetStudy, NoOpResumeWithPartialFinalChunk) {
+  const std::string path = "fleet_test_partial_chunk.ckpt";
+  std::remove(path.c_str());
+  auto config = small_fleet();
+  config.participants = 650;  // NOT a multiple of chunk (64): final chunk is partial.
+  config.checkpoint_path = path;
+  const auto full = study::run_fleet(config);
+  ASSERT_TRUE(full.complete);
+  ASSERT_EQ(full.aggregates.participants(), 650u);
+  // The complete checkpoint's cursor (650) is not chunk-aligned. Resume
+  // must be a no-op — flooring the cursor to a chunk index would re-fold
+  // participants 640..649 into the finished aggregate and silently
+  // overwrite the checkpoint with the double-counted state.
+  config.resume = true;
+  const auto noop = study::run_fleet(config);
+  ASSERT_EQ(noop.status, util::CheckpointStatus::Ok);
+  ASSERT_TRUE(noop.resumed);
+  EXPECT_TRUE(noop.complete);
+  EXPECT_EQ(noop.resumed_from, 650u);
+  EXPECT_EQ(noop.aggregates.participants(), 650u);
+  EXPECT_EQ(noop.aggregates.to_bytes(), full.aggregates.to_bytes());
   std::remove(path.c_str());
 }
 
