@@ -2,12 +2,15 @@
 # One-shot pre-merge gate: configure, build, and test the flavours the
 # determinism contract cares about.
 #
-#   default      lint + unit + property + golden + batch + fleet  (the full gate)
+#   default      lint + unit + property + golden + batch + fleet + host
+#                (the full gate)
 #   tracing-off  same labels — proves tracing compiled out changes no
 #                behaviour (perf baselines are recorded for the tracing
 #                build, so the perf gate only runs on default)
-#   asan-ubsan   unit + fuzz under ASan/UBSan (+ the gcc/clang extra
-#                UBSan checks CMakeLists.txt adds per compiler)
+#   asan-ubsan   unit + fuzz + host under ASan/UBSan (+ the gcc/clang
+#                extra UBSan checks CMakeLists.txt adds per compiler);
+#                host runs here too so the ingest drain loop and the
+#                DSTL decoder get the over-read instrumentation
 #
 # The perf gate (ctest -L perf on the default build, which includes the
 # bench_compare check against committed BENCH_*.json baselines) runs as
@@ -55,9 +58,9 @@ run_perf_gate() {
   rm -f "${log}"
 }
 
-run_flavour default     'lint|unit|property|golden|batch|fleet'
-run_flavour tracing-off 'lint|unit|property|golden|batch|fleet'
-run_flavour asan-ubsan  'unit|fuzz'
+run_flavour default     'lint|unit|property|golden|batch|fleet|host'
+run_flavour tracing-off 'lint|unit|property|golden|batch|fleet|host'
+run_flavour asan-ubsan  'unit|fuzz|host'
 run_perf_gate
 
 echo "==> all flavours green (perf gate: ${PERF_STATUS})"

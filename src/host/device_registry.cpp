@@ -1,0 +1,76 @@
+#include "host/device_registry.h"
+
+namespace distscroll::host {
+
+DeviceRegistry::DeviceRegistry(std::size_t max_devices) : devices_(max_devices) {}
+
+DeviceRegistry::Decision DeviceRegistry::admit(std::uint16_t device_id, std::uint8_t seq) {
+  if (device_id >= devices_.size()) {
+    ++too_old_;
+    return {Verdict::TooOld, 0};
+  }
+  DeviceStats& dev = devices_[device_id];
+  if (!dev.seen) {
+    dev.seen = true;
+    dev.highest_seq = seq;
+    dev.seen_mask = 1;
+    ++dev.accepted;
+    ++accepted_;
+    ++devices_seen_;
+    return {Verdict::Accept, 0};
+  }
+  const auto ahead = static_cast<std::uint8_t>(seq - dev.highest_seq);
+  if (ahead != 0 && ahead < 128) {
+    // Forward: the window slides by `ahead`; everything in between is a
+    // gap until (unless) a late frame fills it.
+    dev.seen_mask = (ahead >= 64) ? 0 : (dev.seen_mask << ahead);
+    dev.seen_mask |= 1;
+    dev.highest_seq = seq;
+    const auto gap_delta = static_cast<std::uint16_t>(ahead - 1);
+    dev.gaps += gap_delta;
+    gaps_ += gap_delta;
+    ++dev.accepted;
+    ++accepted_;
+    return {Verdict::Accept, gap_delta};
+  }
+  const auto behind = static_cast<std::uint8_t>(dev.highest_seq - seq);
+  if (behind < 64) {
+    const std::uint64_t bit = 1ull << behind;
+    if (dev.seen_mask & bit) {
+      ++dev.duplicates;
+      ++duplicates_;
+      return {Verdict::Duplicate, 0};
+    }
+    // A late frame landing inside a gap: the hole is filled. Saturating
+    // decrement — a late frame that predates the device's FIRST delivered
+    // frame fills a hole that was never counted (no forward jump skipped
+    // it), and must not drive the counter negative. The totals still
+    // settle exactly once the stream drains: decrements are capped by
+    // counted gaps, and every remaining fill is a no-op.
+    dev.seen_mask |= bit;
+    if (dev.gaps > 0) {
+      --dev.gaps;
+      --gaps_;
+    }
+    ++dev.reordered;
+    ++reordered_;
+    ++dev.accepted;
+    ++accepted_;
+    return {Verdict::AcceptReordered, 0};
+  }
+  ++dev.too_old;
+  ++too_old_;
+  return {Verdict::TooOld, 0};
+}
+
+void DeviceRegistry::clear() {
+  for (DeviceStats& dev : devices_) dev = DeviceStats{};
+  devices_seen_ = 0;
+  accepted_ = 0;
+  reordered_ = 0;
+  duplicates_ = 0;
+  too_old_ = 0;
+  gaps_ = 0;
+}
+
+}  // namespace distscroll::host

@@ -1,0 +1,94 @@
+// Per-device sequence bookkeeping for the multi-device ingest pipeline.
+//
+// Every simulated DistScroll device numbers its telemetry frames with an
+// independent 8-bit ARQ sequence; the host sees all of those streams
+// interleaved (plus ARQ retransmissions, which arrive late, duplicated
+// or out of order). The registry is the single authority on what the
+// host ACCEPTS: it keeps, per device id, the highest sequence seen and a
+// 64-frame seen-bitmap (the same sliding-window dedupe ArqReceiver
+// uses), and classifies every arriving frame as
+//
+//   Accept           in-order or a forward jump (skipped frames are
+//                    counted as gaps — they may be filled later),
+//   AcceptReordered  a late frame landing in a previously-counted gap
+//                    (the gap count is decremented: the hole was filled),
+//   Duplicate        already delivered (retransmission raced its ack),
+//   TooOld           behind the 64-frame dedupe horizon — dropped, since
+//                    "duplicate" and "ancient" cannot be told apart.
+//
+// The accepted stream per device is therefore exactly-once: a frame
+// sequence number is accepted at most once while it is inside the
+// horizon, which is what makes the downstream columnar compaction a
+// faithful record (tests/host_test.cpp holds the exactly-once property
+// under loss + reorder + duplication fault injection).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace distscroll::host {
+
+class DeviceRegistry {
+ public:
+  enum class Verdict : std::uint8_t {
+    Accept,
+    AcceptReordered,
+    Duplicate,
+    TooOld,
+  };
+
+  struct Decision {
+    Verdict verdict = Verdict::Accept;
+    /// Frames newly skipped by a forward jump (0 unless Accept).
+    std::uint16_t gap_delta = 0;
+  };
+
+  /// `max_devices` bounds the id space; admit() of an id >= max_devices
+  /// is classified TooOld (counted, never accepted) rather than growing
+  /// state on attacker-controlled input.
+  explicit DeviceRegistry(std::size_t max_devices);
+
+  Decision admit(std::uint16_t device_id, std::uint8_t seq);
+
+  struct DeviceStats {
+    bool seen = false;
+    std::uint8_t highest_seq = 0;
+    std::uint64_t seen_mask = 0;  // bit i = (highest_seq - i) delivered
+    std::uint64_t accepted = 0;
+    std::uint64_t reordered = 0;  // subset of accepted
+    std::uint64_t duplicates = 0;
+    std::uint64_t too_old = 0;
+    /// Sequence slots skipped by forward jumps and not (yet) filled by a
+    /// late frame. Transiently over-counts while a reordered frame is in
+    /// flight; settles once the stream drains.
+    std::uint64_t gaps = 0;
+  };
+
+  [[nodiscard]] const DeviceStats& stats(std::uint16_t device_id) const {
+    return devices_[device_id];
+  }
+  [[nodiscard]] std::size_t max_devices() const { return devices_.size(); }
+  /// Devices that have had at least one frame admitted.
+  [[nodiscard]] std::size_t devices_seen() const { return devices_seen_; }
+
+  // Totals across all devices (each also per-device via stats()).
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t too_old() const { return too_old_; }
+  [[nodiscard]] std::uint64_t gaps() const { return gaps_; }
+
+  /// Forget every stream (fresh session); capacity is kept.
+  void clear();
+
+ private:
+  std::vector<DeviceStats> devices_;
+  std::size_t devices_seen_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t too_old_ = 0;
+  std::uint64_t gaps_ = 0;
+};
+
+}  // namespace distscroll::host

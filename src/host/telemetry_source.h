@@ -1,0 +1,51 @@
+// Deterministic per-device telemetry generator for ingest simulations.
+//
+// A simulated device must be able to answer "what was the i-th report I
+// offered to the link?" long after the fact, because the ingest
+// pipeline verifies every ACCEPTED frame against the report the device
+// claims to have sent (the zero-corruption acceptance check). Storing
+// the full history per device would cost O(reports x devices) across a
+// 10k-device fleet, so the source is a pure function of (seed, index):
+// report_at(i) forks the device RNG by the report index and synthesises
+// the StateReport from that child stream alone. Any index can be
+// re-derived at any time, in any order, for free.
+//
+// The synthesized fields stay inside the real device's ranges (10-bit
+// ADC, shallow menu tree, 3 buttons) so the wire encoding exercises the
+// same value distribution the paper's prototype produces.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/random.h"
+#include "wireless/packet.h"
+
+namespace distscroll::host {
+
+class TelemetrySource {
+ public:
+  explicit TelemetrySource(sim::Rng rng) : rng_(rng) {}
+
+  /// The i-th report this device offers to its link. Pure: same (seed,
+  /// index) -> same report, no draw-order coupling between indices.
+  [[nodiscard]] wireless::StateReport report_at(std::uint64_t index) const {
+    sim::Rng draw = rng_.fork(index);
+    wireless::StateReport report;
+    // Slow sweep through the pot's travel plus jitter, clamped to the
+    // 10-bit ADC range the firmware reports.
+    const int base = 200 + static_cast<int>(index % 97) * 7;
+    report.adc_counts = static_cast<std::uint16_t>(
+        std::clamp(base + draw.uniform_int(-25, 25), 0, 1023));
+    report.menu_depth = static_cast<std::uint8_t>(draw.uniform_int(0, 3));
+    report.level_size = static_cast<std::uint8_t>(4 + draw.uniform_int(0, 12));
+    report.cursor_index = static_cast<std::uint8_t>(draw.uniform_int(0, report.level_size - 1));
+    report.buttons = static_cast<std::uint8_t>(draw.uniform_int(0, 7));
+    return report;
+  }
+
+ private:
+  sim::Rng rng_;
+};
+
+}  // namespace distscroll::host

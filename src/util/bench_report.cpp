@@ -49,6 +49,18 @@ bool write_bench_report(const BenchReport& report) {
                   report.fleet_rss_growth);
     out << buffer;
   }
+  if (report.host_devices > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\n"
+                  "  \"host_devices\": %zu,\n"
+                  "  \"host_wall_s\": %.6f,\n"
+                  "  \"host_frames_per_s\": %.1f,\n"
+                  "  \"host_drop_rate\": %.6f,\n"
+                  "  \"host_bit_identical\": %s",
+                  report.host_devices, report.host_wall_s, report.host_frames_per_s,
+                  report.host_drop_rate, report.host_bit_identical ? "true" : "false");
+    out << buffer;
+  }
   if (!report.metrics_json.empty()) {
     out << ",\n  \"metrics\": {\n" << report.metrics_json << "\n  }";
   }

@@ -42,6 +42,15 @@ struct BenchReport {
   /// Peak-RSS ratio (full run / small-run baseline); ~1.0 proves
   /// O(aggregates) memory. 0 when the probe is unavailable.
   double fleet_rss_growth = 0.0;
+  // Host ingest pass (host::run_host_ingest); the block is emitted only
+  // when host_devices > 0, so other benches are unaffected.
+  std::size_t host_devices = 0;
+  double host_wall_s = 0.0;              // reference (1-thread) ingest pass
+  double host_frames_per_s = 0.0;        // accepted frames / host_wall_s
+  /// Fraction of offered reports shed under the overload pass.
+  double host_drop_rate = 0.0;
+  /// DSTL bytes + metrics JSON byte-equal across every thread count.
+  bool host_bit_identical = true;
   /// Pre-rendered `"name": value` lines for the nested "metrics" object
   /// (obs::MetricsRegistry::to_json_fields(4); util cannot link obs).
   /// Empty = no metrics block emitted.

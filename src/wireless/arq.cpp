@@ -105,6 +105,15 @@ std::size_t ArqSender::in_flight() const {
       queue_.begin(), queue_.end(), [](const Pending& p) { return p.attempts > 0; }));
 }
 
+std::size_t ArqSender::unsent() const {
+  const std::size_t active = std::min(config_.window, queue_.size());
+  std::size_t waiting = 0;
+  for (std::size_t i = 0; i < active; ++i) {
+    if (queue_[i].needs_tx) ++waiting;
+  }
+  return waiting;
+}
+
 // --- receiver ---------------------------------------------------------------
 
 void ArqReceiver::on_byte(std::uint8_t byte) {

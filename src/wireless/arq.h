@@ -85,6 +85,11 @@ class ArqSender {
 
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
   [[nodiscard]] std::size_t in_flight() const;
+  /// Active-window frames still waiting for transport room (needs_tx):
+  /// non-zero means the transport backpressured and a notify_tx_space()
+  /// is owed — the host ingest drain loop uses this to know a device
+  /// still has frames to flush.
+  [[nodiscard]] std::size_t unsent() const;
   [[nodiscard]] const FrameDecoder& ack_decoder() const { return ack_decoder_; }
 
   // Counters for LinkStats.

@@ -5,24 +5,45 @@ namespace distscroll::wireless {
 void HostLogger::on_byte(std::uint8_t byte) {
   // A resync can complete several buffered frames on one byte: drain.
   for (auto frame = decoder_.feed(byte); frame; frame = decoder_.poll()) {
-    on_frame(*frame);
+    on_frame(0, *frame);
   }
 }
 
-void HostLogger::on_frame(const Frame& frame) {
+void HostLogger::on_frame(std::uint16_t device_id, const Frame& frame) {
   ++frames_logged_;
-  if (last_seq_) {
-    const std::uint8_t expected = static_cast<std::uint8_t>(*last_seq_ + 1);
+  PerDevice& dev = devices_[device_id];
+  ++dev.frames;
+  if (dev.last_seq) {
+    const std::uint8_t expected = static_cast<std::uint8_t>(*dev.last_seq + 1);
     if (frame.seq != expected) {
       // 8-bit wraparound distance; counts frames missing in between.
-      sequence_gaps_ += static_cast<std::uint8_t>(frame.seq - expected);
+      const std::uint8_t gap = static_cast<std::uint8_t>(frame.seq - expected);
+      dev.sequence_gaps += gap;
+      sequence_gaps_ += gap;
     }
   }
-  last_seq_ = frame.seq;
+  dev.last_seq = frame.seq;
   if (frame.type == FrameType::State) {
-    last_state_ = StateReport::unpack(frame.payload);
+    dev.last_state = StateReport::unpack(frame.payload);
+    last_state_ = dev.last_state;
   }
-  events_.push_back({queue_->now().value, frame});
+  events_.push_back({queue_->now().value, device_id, frame});
+}
+
+std::optional<StateReport> HostLogger::last_state(std::uint16_t device_id) const {
+  const auto it = devices_.find(device_id);
+  if (it == devices_.end()) return std::nullopt;
+  return it->second.last_state;
+}
+
+std::uint64_t HostLogger::frames_received(std::uint16_t device_id) const {
+  const auto it = devices_.find(device_id);
+  return it == devices_.end() ? 0 : it->second.frames;
+}
+
+std::uint64_t HostLogger::sequence_gaps(std::uint16_t device_id) const {
+  const auto it = devices_.find(device_id);
+  return it == devices_.end() ? 0 : it->second.sequence_gaps;
 }
 
 }  // namespace distscroll::wireless

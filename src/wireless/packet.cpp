@@ -53,6 +53,26 @@ std::vector<std::uint8_t> encode(const Frame& frame) {
   return wire;
 }
 
+std::optional<FrameView> parse_wire_frame(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 5 || wire.size() > kMaxEncodedFrame) return std::nullopt;
+  if (wire[0] != kSyncByte) return std::nullopt;
+  const std::uint8_t len = wire[1];
+  if (len < 2 || len > 2 + kMaxPayload) return std::nullopt;
+  // The buffer must be exactly SYNC LEN body CRC — a trailing-garbage or
+  // truncated image is a transport bug, not a parsable frame.
+  if (wire.size() != static_cast<std::size_t>(len) + 3) return std::nullopt;
+  if (!is_known_frame_type(wire[2])) return std::nullopt;
+  // CRC over LEN..PAYLOAD, matching encode_into.
+  if (util::crc8(wire.subspan(1, static_cast<std::size_t>(len) + 1)) != wire[wire.size() - 1]) {
+    return std::nullopt;
+  }
+  FrameView view;
+  view.type = static_cast<FrameType>(wire[2]);
+  view.seq = wire[3];
+  view.payload = wire.subspan(4, static_cast<std::size_t>(len) - 2);
+  return view;
+}
+
 std::optional<Frame> FrameDecoder::feed(std::uint8_t byte) {
   replay_.push_back(byte);
   // Drain the replay queue through the state machine. An error inside

@@ -54,6 +54,8 @@ struct StateReport {
   std::uint8_t level_size = 0;
   std::uint8_t buttons = 0;       // bit i = button i pressed
 
+  bool operator==(const StateReport&) const = default;
+
   static constexpr std::size_t kPackedSize = 6;
 
   [[nodiscard]] std::vector<std::uint8_t> pack() const;
@@ -75,6 +77,23 @@ struct StateReport {
 /// AllocGuard contract), while host-side code keeps the vector form.
 std::size_t encode_into(FrameType type, std::uint8_t seq, std::span<const std::uint8_t> payload,
                         std::span<std::uint8_t> out);
+
+/// Zero-copy view of one validated wire frame: TYPE/SEQ decoded, the
+/// payload a span into the caller's buffer. Produced by
+/// parse_wire_frame() for batch validation paths (host ingest) where
+/// frames arrive already delimited and the byte-at-a-time FrameDecoder
+/// state machine would only add copying.
+struct FrameView {
+  FrameType type = FrameType::Heartbeat;
+  std::uint8_t seq = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Validate one complete wire image (SYNC LEN TYPE SEQ PAYLOAD CRC) in
+/// place. Returns nullopt when the buffer is not exactly one well-formed
+/// frame: wrong sync, LEN outside [2, 2+kMaxPayload], size mismatch,
+/// unknown TYPE, or CRC failure. Never reads outside `wire`.
+[[nodiscard]] std::optional<FrameView> parse_wire_frame(std::span<const std::uint8_t> wire);
 
 /// Incremental decoder: feed bytes as they arrive, pops complete valid
 /// frames.

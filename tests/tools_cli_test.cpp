@@ -33,6 +33,10 @@ struct ExtraFields {
   bool fleet_bit_identical = true;
   bool fleet_resume_bit_identical = true;
   double fleet_rss_growth = 0.0;
+  double host_devices = 0.0;
+  double host_frames_per_s = 0.0;
+  double host_drop_rate = 0.0;
+  bool host_bit_identical = true;
 };
 
 /// Minimal BENCH report the tool's flat-key parser accepts.
@@ -65,6 +69,13 @@ void write_report(const std::string& dir, double sequential_wall_s, bool batch_b
         << ",\n  \"fleet_resume_bit_identical\": "
         << (extra.fleet_resume_bit_identical ? "true" : "false")
         << ",\n  \"fleet_rss_growth\": " << extra.fleet_rss_growth;
+  }
+  if (extra.host_devices > 0.0) {
+    out << ",\n  \"host_devices\": " << static_cast<long long>(extra.host_devices)
+        << ",\n  \"host_wall_s\": 1.0"
+        << ",\n  \"host_frames_per_s\": " << extra.host_frames_per_s
+        << ",\n  \"host_drop_rate\": " << extra.host_drop_rate
+        << ",\n  \"host_bit_identical\": " << (extra.host_bit_identical ? "true" : "false");
   }
   out << "\n}\n";
 }
@@ -182,6 +193,57 @@ TEST(BenchCompareCli, PeakRssRegressionFails) {
   const std::string root =
       make_case_dirs("rss_regress", 1.0, 1.0, true, 1.0, healthy_fleet(), fresh);
   EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+// --- host ingest gates ----------------------------------------------------
+
+ExtraFields healthy_host() {
+  ExtraFields extra;
+  extra.host_devices = 2000;
+  extra.host_frames_per_s = 500000.0;
+  extra.host_drop_rate = 0.20;
+  return extra;
+}
+
+TEST(BenchCompareCli, HealthyHostReportPasses) {
+  const std::string root =
+      make_case_dirs("host_ok", 1.0, 1.0, true, 1.0, healthy_host(), healthy_host());
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 0);
+}
+
+TEST(BenchCompareCli, HostThreadDivergenceFails) {
+  auto fresh = healthy_host();
+  fresh.host_bit_identical = false;
+  const std::string root =
+      make_case_dirs("host_diverged", 1.0, 1.0, true, 1.0, healthy_host(), fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, HostThroughputRegressionFails) {
+  // Throughput gates lower-is-worse: baseline 500k / 1.5 = 333k > 300k.
+  auto fresh = healthy_host();
+  fresh.host_frames_per_s = 300000.0;
+  const std::string root =
+      make_case_dirs("host_slow", 1.0, 1.0, true, 1.0, healthy_host(), fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, HostDropRateRegressionFails) {
+  // Drop rate gates higher-is-worse: baseline 0.20 x 1.5 = 0.30 < 0.35.
+  auto fresh = healthy_host();
+  fresh.host_drop_rate = 0.35;
+  const std::string root =
+      make_case_dirs("host_drops", 1.0, 1.0, true, 1.0, healthy_host(), fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 1);
+}
+
+TEST(BenchCompareCli, HostFieldsAbsentFromBaselineSkipTheGates) {
+  // A fresh run that grew the host block vs a baseline that predates it:
+  // only the bit-identity hard gate applies; throughput/drop are skipped.
+  auto fresh = healthy_host();
+  fresh.host_frames_per_s = 1.0;  // would fail the floor if gated
+  const std::string root = make_case_dirs("host_absent", 1.0, 1.0, true, 1.0, {}, fresh);
+  EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 0);
 }
 
 }  // namespace

@@ -381,6 +381,106 @@ TEST_F(LinkFixture, ClearResetsSequenceTrackingForNewSession) {
   EXPECT_EQ(logger.sequence_gaps(), 0u);
 }
 
+TEST_F(LinkFixture, InterleavedTwoDeviceStreamsKeepIndependentSequenceState) {
+  // Regression: HostLogger used to keep ONE last_seq_/last_state_ for
+  // the whole logger, so interleaving two devices' streams manufactured
+  // phantom gaps (device A at seq 3 followed by device B at seq 0 read
+  // as a 252-frame hole) and each device's state clobbered the other's.
+  HostLogger logger(queue);
+  for (std::uint8_t seq = 0; seq < 4; ++seq) {
+    for (std::uint16_t device = 0; device < 2; ++device) {
+      Frame frame;
+      frame.type = FrameType::State;
+      frame.seq = seq;
+      StateReport report;
+      report.adc_counts = static_cast<std::uint16_t>(100 * (device + 1) + seq);
+      frame.payload = report.pack();
+      logger.on_frame(device, frame);
+    }
+  }
+  EXPECT_EQ(logger.frames_received(), 8u);
+  EXPECT_EQ(logger.devices_seen(), 2u);
+  // Per-device streams are each 0,1,2,3 — no gaps anywhere.
+  EXPECT_EQ(logger.sequence_gaps(), 0u);
+  EXPECT_EQ(logger.sequence_gaps(0), 0u);
+  EXPECT_EQ(logger.sequence_gaps(1), 0u);
+  // Each device keeps its own last state.
+  ASSERT_TRUE(logger.last_state(0).has_value());
+  ASSERT_TRUE(logger.last_state(1).has_value());
+  EXPECT_EQ(logger.last_state(0)->adc_counts, 103);
+  EXPECT_EQ(logger.last_state(1)->adc_counts, 203);
+  EXPECT_EQ(logger.frames_received(0), 4u);
+  EXPECT_EQ(logger.frames_received(1), 4u);
+  // The no-arg accessor reports the most recent state overall.
+  ASSERT_TRUE(logger.last_state().has_value());
+  EXPECT_EQ(logger.last_state()->adc_counts, 203);
+  // Events carry the device id.
+  ASSERT_EQ(logger.events().size(), 8u);
+  EXPECT_EQ(logger.events()[0].device_id, 0u);
+  EXPECT_EQ(logger.events()[1].device_id, 1u);
+  // A genuine gap within ONE device's stream is still detected.
+  Frame gap_frame;
+  gap_frame.type = FrameType::Heartbeat;
+  gap_frame.seq = 6;  // device 0 jumps 3 -> 6
+  logger.on_frame(0, gap_frame);
+  EXPECT_EQ(logger.sequence_gaps(0), 2u);
+  EXPECT_EQ(logger.sequence_gaps(1), 0u);
+  EXPECT_EQ(logger.sequence_gaps(), 2u);
+}
+
+TEST(ParseWireFrame, AcceptsExactlyWhatEncodeProduces) {
+  Frame frame;
+  frame.type = FrameType::State;
+  frame.seq = 42;
+  StateReport report;
+  report.adc_counts = 777;
+  report.menu_depth = 2;
+  report.cursor_index = 5;
+  report.level_size = 9;
+  report.buttons = 0b101;
+  frame.payload = report.pack();
+  const std::vector<std::uint8_t> wire = encode(frame);
+
+  const auto view = parse_wire_frame(wire);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->type, FrameType::State);
+  EXPECT_EQ(view->seq, 42);
+  const auto round = StateReport::unpack(view->payload);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, report);
+}
+
+TEST(ParseWireFrame, RejectsEverySingleBitFlip) {
+  Frame frame;
+  frame.type = FrameType::SelectionEvent;
+  frame.seq = 7;
+  frame.payload = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> wire = encode(frame);
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::vector<std::uint8_t> mutated = wire;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto view = parse_wire_frame(mutated);
+    // CRC-8 detects all single-bit errors in LEN..PAYLOAD..CRC; sync
+    // corruption fails the sync check. No flip may survive.
+    EXPECT_FALSE(view.has_value()) << "bit " << bit << " slipped through";
+  }
+}
+
+TEST(ParseWireFrame, RejectsTruncationPaddingAndGarbage) {
+  Frame frame;
+  frame.payload = {9, 9};
+  const std::vector<std::uint8_t> wire = encode(frame);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(parse_wire_frame({wire.data(), n}).has_value()) << "prefix " << n;
+  }
+  std::vector<std::uint8_t> padded = wire;
+  padded.push_back(0x00);
+  EXPECT_FALSE(parse_wire_frame(padded).has_value());
+  EXPECT_FALSE(parse_wire_frame({}).has_value());
+  const std::vector<std::uint8_t> junk(kMaxEncodedFrame + 1, 0xAA);
+  EXPECT_FALSE(parse_wire_frame(junk).has_value());
+}
+
 TEST_F(LinkFixture, StopHaltsPumping) {
   RfLink::Config config;
   config.byte_loss_probability = 0.0;

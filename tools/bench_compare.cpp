@@ -22,7 +22,11 @@
 // baseline * tolerance, and streaming-fleet reports
 // (fleet_participants > 0) gate fleet wall clock, thread-count
 // bit-identity, checkpoint/resume bit-identity and RSS flatness
-// (growth ratio <= 1.10). Older baselines lack the fields and skip
+// (growth ratio <= 1.10). Host-ingest reports (host_devices > 0) gate
+// thread-count bit-identity, throughput (host_frames_per_s, LOWER is
+// worse: fresh must stay above baseline / tolerance) and the overload
+// drop rate (HIGHER is worse: fresh must stay below
+// baseline * tolerance). Older baselines lack the fields and skip
 // those gates.
 //
 // Exit codes: 0 = all gates passed, 1 = regression or unreadable
@@ -69,6 +73,11 @@ struct Report {
   bool fleet_bit_identical = true;
   bool fleet_resume_bit_identical = true;
   double fleet_rss_growth = 0.0;
+  // Host-ingest fields; absent in baselines predating the pipeline.
+  double host_devices = 0.0;
+  double host_frames_per_s = 0.0;
+  double host_drop_rate = 0.0;
+  bool host_bit_identical = true;
 };
 
 /// First top-level `"key": <number|bool>` occurrence. The BENCH format
@@ -118,6 +127,10 @@ std::optional<Report> load_report(const std::filesystem::path& path) {
   report.fleet_resume_bit_identical =
       find_number(json, "fleet_resume_bit_identical").value_or(1.0) != 0.0;
   report.fleet_rss_growth = find_number(json, "fleet_rss_growth").value_or(0.0);
+  report.host_devices = find_number(json, "host_devices").value_or(0.0);
+  report.host_frames_per_s = find_number(json, "host_frames_per_s").value_or(0.0);
+  report.host_drop_rate = find_number(json, "host_drop_rate").value_or(0.0);
+  report.host_bit_identical = find_number(json, "host_bit_identical").value_or(1.0) != 0.0;
   return report;
 }
 
@@ -265,6 +278,38 @@ int main(int argc, char** argv) {
                      file.c_str(), fresh->fleet_rss_growth, kFleetRssFlatLimit);
         ++failed;
         continue;
+      }
+    }
+    // Host-ingest gates: thread-count bit-identity (DSTL bytes +
+    // metrics JSON) is a hard failure; throughput gates LOWER-is-worse
+    // (frames/s dropping below baseline / tolerance); the overload drop
+    // rate gates HIGHER-is-worse, with an epsilon so a baseline of
+    // exactly 0 still tolerates float noise.
+    if (fresh->host_devices > 0.0) {
+      if (!fresh->host_bit_identical) {
+        std::fprintf(stderr, "[fail] %s: host ingest diverged across thread counts\n",
+                     file.c_str());
+        ++failed;
+        continue;
+      }
+      if (baseline->host_devices > 0.0) {
+        const double floor = baseline->host_frames_per_s / tolerance;
+        if (fresh->host_frames_per_s < floor) {
+          std::fprintf(stderr,
+                       "[fail] %s: host %.0f frames/s below baseline %.0f / %.2f = %.0f\n",
+                       file.c_str(), fresh->host_frames_per_s, baseline->host_frames_per_s,
+                       tolerance, floor);
+          ++failed;
+          continue;
+        }
+        const double drop_limit = baseline->host_drop_rate * tolerance + 1e-9;
+        if (fresh->host_drop_rate > drop_limit) {
+          std::fprintf(stderr,
+                       "[fail] %s: host drop rate %.6f exceeds baseline %.6f x %.2f\n",
+                       file.c_str(), fresh->host_drop_rate, baseline->host_drop_rate, tolerance);
+          ++failed;
+          continue;
+        }
       }
     }
     // Peak-RSS trajectory: same tolerance philosophy as the wall

@@ -391,6 +391,7 @@ void rule_no_ambient_rng(const SourceFile& src, Emit& out) {
 bool unordered_applies(const std::string& path) {
   static const std::vector<std::string> kScopes = {
       "src/sim/", "src/study/", "src/core/", "src/sensors/", "src/hw/", "src/wireless/",
+      "src/host/",
   };
   return std::any_of(kScopes.begin(), kScopes.end(),
                      [&](const std::string& s) { return starts_with(path, s); });

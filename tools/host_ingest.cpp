@@ -1,0 +1,165 @@
+// host_ingest: drive the multi-device telemetry ingest pipeline from
+// the command line — the operational face of host::run_host_ingest (the
+// bench exp_host_ingest is the measured face).
+//
+// Usage:
+//   host_ingest [--devices N] [--duration S] [--loss P] [--reorder P]
+//               [--corrupt P] [--ack-loss P] [--lanes N]
+//               [--lane-capacity N] [--batch N] [--threads N] [--seed S]
+//               [--session N] [--out PATH.dstl] [--jsonl PATH.jsonl]
+//
+// Prints an ingest summary to stdout; --out writes the DSTL container,
+// --jsonl the decoded accepted stream as JSON lines.
+//
+// Exit codes: 0 = clean ingest (no content mismatches), 1 = content
+// mismatch detected or unwritable output, 64 = malformed command line.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "host/host_pipeline.h"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 64;
+
+/// Strict uint64 parse: whole argument, no sign, no suffix.
+bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0' || *text == '-') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+/// Strict probability parse: [0, 1].
+bool parse_prob(const char* text, double& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || value < 0.0 || value > 1.0) return false;
+  out = value;
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: host_ingest [--devices N] [--duration S] [--loss P] [--reorder P]\n"
+               "                   [--corrupt P] [--ack-loss P] [--lanes N]\n"
+               "                   [--lane-capacity N] [--batch N] [--threads N] [--seed S]\n"
+               "                   [--session N] [--out PATH.dstl] [--jsonl PATH.jsonl]\n");
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using distscroll::host::HostIngestConfig;
+
+  HostIngestConfig config;
+  config.devices = 64;
+  config.lanes = 8;
+  std::string out_path;
+  std::string jsonl_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_u64 = [&](std::uint64_t& out) {
+      return i + 1 < argc && parse_u64(argv[++i], out);
+    };
+    auto next_prob = [&](double& out) { return i + 1 < argc && parse_prob(argv[++i], out); };
+    std::uint64_t value = 0;
+    if (std::strcmp(arg, "--devices") == 0) {
+      if (!next_u64(value) || value == 0 || value > 65535) return usage();
+      config.devices = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--duration") == 0) {
+      double seconds = 0.0;
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      seconds = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || seconds <= 0.0) return usage();
+      config.duration_s = seconds;
+    } else if (std::strcmp(arg, "--loss") == 0) {
+      if (!next_prob(config.faults.frame_loss)) return usage();
+    } else if (std::strcmp(arg, "--reorder") == 0) {
+      if (!next_prob(config.faults.reorder)) return usage();
+    } else if (std::strcmp(arg, "--corrupt") == 0) {
+      if (!next_prob(config.faults.bit_flip)) return usage();
+    } else if (std::strcmp(arg, "--ack-loss") == 0) {
+      if (!next_prob(config.faults.ack_loss)) return usage();
+    } else if (std::strcmp(arg, "--lanes") == 0) {
+      if (!next_u64(value) || value == 0) return usage();
+      config.lanes = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--lane-capacity") == 0) {
+      if (!next_u64(value) || value == 0) return usage();
+      config.lane_capacity = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      if (!next_u64(value) || value == 0) return usage();
+      config.batch = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (!next_u64(value)) return usage();
+      config.threads = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!next_u64(config.base_seed)) return usage();
+    } else if (std::strcmp(arg, "--session") == 0) {
+      if (!next_u64(value) || value > 65535) return usage();
+      config.session_id = static_cast<std::uint16_t>(value);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (std::strcmp(arg, "--jsonl") == 0) {
+      if (i + 1 >= argc) return usage();
+      jsonl_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  const auto result = distscroll::host::run_host_ingest(config);
+  const auto& stats = result.stats;
+  std::printf("devices            %zu (seen %" PRIu64 ")\n", config.devices, stats.devices_seen);
+  std::printf("reports offered    %" PRIu64 "  (shed %" PRIu64 ")\n", stats.reports_offered,
+              stats.reports_shed);
+  std::printf("frames accepted    %" PRIu64 "  (reordered %" PRIu64 ", dup %" PRIu64
+              ", too-old %" PRIu64 ")\n",
+              stats.frames_accepted, stats.frames_reordered, stats.frames_duplicate,
+              stats.frames_too_old);
+  std::printf("crc rejected       %" PRIu64 "  (link: lost %" PRIu64 ", corrupted %" PRIu64
+              ", reordered %" PRIu64 ")\n",
+              stats.frames_crc_rejected, stats.link_frames_lost, stats.link_frames_corrupted,
+              stats.link_frames_reordered);
+  std::printf("arq tx             %" PRIu64 "  (retx %" PRIu64 ", retry-drops %" PRIu64
+              ", stalls %" PRIu64 ")\n",
+              stats.arq_transmissions, stats.arq_retransmissions,
+              stats.arq_drops_retry_exhausted, stats.backpressure_stalls);
+  std::printf("residual gaps      %" PRIu64 "\n", stats.sequence_gaps);
+  std::printf("max queue depth    %zu\n", stats.max_queue_depth);
+  std::printf("windows            %" PRIu64 "  (%s)\n", stats.windows,
+              stats.complete ? "drained" : "grace exhausted");
+  std::printf("content mismatches %" PRIu64 "\n", stats.content_mismatches);
+  std::printf("dstl bytes         %zu  (%.2f bytes/record)\n", result.dstl.size(),
+              result.records.empty()
+                  ? 0.0
+                  : static_cast<double>(result.dstl.size()) /
+                        static_cast<double>(result.records.size()));
+
+  if (stats.content_mismatches != 0) {
+    std::fprintf(stderr, "host_ingest: accepted-frame content mismatch\n");
+    return kExitFail;
+  }
+  if (!out_path.empty() && !distscroll::host::write_dstl_file(out_path, result.dstl)) {
+    std::fprintf(stderr, "host_ingest: cannot write %s\n", out_path.c_str());
+    return kExitFail;
+  }
+  if (!jsonl_path.empty() &&
+      !distscroll::host::write_jsonl_file(jsonl_path, result.records)) {
+    std::fprintf(stderr, "host_ingest: cannot write %s\n", jsonl_path.c_str());
+    return kExitFail;
+  }
+  return kExitOk;
+}
