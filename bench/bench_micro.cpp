@@ -11,6 +11,8 @@
 // GestureWrist/FreeDigiter-class recognisers need).
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include <cmath>
 
 #include "core/distscroll_device.h"
@@ -19,6 +21,8 @@
 #include "display/bt96040.h"
 #include "display/display_driver.h"
 #include "hw/adc.h"
+#include "lint/index.h"
+#include "lint/rules.h"
 #include "menu/menu_builder.h"
 #include "menu/phone_menu.h"
 #include "obs/metrics.h"
@@ -343,6 +347,38 @@ void BM_AllocGuardOverhead(benchmark::State& state) {
   state.counters["interposer_linked"] = util::alloc_interposer_linked() ? 1.0 : 0.0;
 }
 BENCHMARK(BM_AllocGuardOverhead)->Arg(0)->Arg(1);
+
+/// The full ds_lint run over the real repo tree, in-process: index
+/// (walk + strip + lex + include closure + function defs), the seven
+/// file-local rules, and the three whole-program passes. This is the
+/// number the lint_tree build gate pays on every build — the budget is
+/// "fast enough to never think about" (tens of ms), and this bench is
+/// the regression tripwire for it.
+void BM_DsLintFullTree(benchmark::State& state) {
+  const std::filesystem::path root = DS_REPO_ROOT;
+  std::size_t files = 0;
+  std::size_t raw_findings = 0;
+  for (auto _ : state) {
+    std::string error;
+    const lint::FileIndex index = lint::build_index(root, {}, &error);
+    if (!error.empty()) state.SkipWithError(error.c_str());
+    lint::Emit raw;
+    for (const lint::Rule& rule : lint::registry()) {
+      if (rule.scan_file != nullptr) {
+        for (const lint::SourceFile& src : index.files) {
+          if (rule.applies(src.path)) rule.scan_file(src, raw);
+        }
+      }
+      if (rule.scan_tree != nullptr) rule.scan_tree(index, raw);
+    }
+    files = index.files.size();
+    raw_findings = raw.size();
+    benchmark::DoNotOptimize(raw);
+  }
+  state.counters["files"] = static_cast<double>(files);
+  state.counters["raw_findings"] = static_cast<double>(raw_findings);
+}
+BENCHMARK(BM_DsLintFullTree)->Unit(benchmark::kMillisecond);
 
 /// The whole DistScroll firmware task set on the cooperative scheduler:
 /// how much of the PIC's 1 ms tick budget does the prototype use?

@@ -7,10 +7,14 @@
 #   tracing-off  same labels — proves tracing compiled out changes no
 #                behaviour (perf baselines are recorded for the tracing
 #                build, so the perf gate only runs on default)
-#   asan-ubsan   unit + fuzz + host under ASan/UBSan (+ the gcc/clang
-#                extra UBSan checks CMakeLists.txt adds per compiler);
-#                host runs here too so the ingest drain loop and the
-#                DSTL decoder get the over-read instrumentation
+#   asan-ubsan   lint + unit + fuzz + host under ASan/UBSan (+ the
+#                gcc/clang extra UBSan checks CMakeLists.txt adds per
+#                compiler); host runs here too so the ingest drain loop
+#                and the DSTL decoder get the over-read instrumentation
+#
+# Every flavour runs the same pre-step: build ds_lint alone and assert
+# `ds_lint --root .` exits 0 BEFORE the (much longer) test build. A
+# dirty tree fails in seconds, not after minutes of compiling tests.
 #
 # The perf gate (ctest -L perf on the default build, which includes the
 # bench_compare check against committed BENCH_*.json baselines) runs as
@@ -30,10 +34,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+# Map a configure preset to its binaryDir (see CMakePresets.json).
+preset_bindir() {
+  case "$1" in
+    default)     echo build ;;
+    asan-ubsan)  echo build-asan ;;
+    tsan)        echo build-tsan ;;
+    tracing-off) echo build-notrace ;;
+    *)           echo "unknown preset '$1'" >&2; exit 64 ;;
+  esac
+}
+
 run_flavour() {
   local preset="$1" labels="$2"
-  echo "==> [${preset}] configure + build"
+  local bindir
+  bindir="$(preset_bindir "${preset}")"
+  echo "==> [${preset}] configure"
   cmake --preset "${preset}" >/dev/null
+  echo "==> [${preset}] lint gate: ds_lint --root ."
+  cmake --build --preset "${preset}" -j "${JOBS}" --target ds_lint >/dev/null
+  "./${bindir}/tools/ds_lint" --root .
+  echo "==> [${preset}] build"
   cmake --build --preset "${preset}" -j "${JOBS}"
   echo "==> [${preset}] ctest -L '${labels}'"
   ctest --preset "${preset}" -L "${labels}" --output-on-failure
@@ -60,7 +81,7 @@ run_perf_gate() {
 
 run_flavour default     'lint|unit|property|golden|batch|fleet|host'
 run_flavour tracing-off 'lint|unit|property|golden|batch|fleet|host'
-run_flavour asan-ubsan  'unit|fuzz|host'
+run_flavour asan-ubsan  'lint|unit|fuzz|host'
 run_perf_gate
 
 echo "==> all flavours green (perf gate: ${PERF_STATUS})"

@@ -127,6 +127,7 @@ void DistScrollDevice::reset(Config config, const menu::MenuNode& menu_root, sim
     DualRangeResolver::Config resolver_config = config_.dual_sensor;
     resolver_config.peak_cm = config_.sensor.peak_cm;
     resolver_config.dead_zone_volts = config_.sensor.dead_zone_volts;
+    // ds-lint: allow(no-alloc-markers) optional in-place construct of value state; pinned heap-free by the pooled-reuse AllocGuard test
     dual_resolver_.emplace(config_.curve, config_.curve, resolver_config);
     if (!has_dual_ram_) {
       board_.mcu().reserve_ram("dual-sensor-state", 16);
@@ -136,6 +137,7 @@ void DistScrollDevice::reset(Config config, const menu::MenuNode& menu_root, sim
     dual_resolver_.reset();
   }
   if (config_.enable_context_gate) {
+    // ds-lint: allow(no-alloc-markers) optional in-place construct of value state; no heap
     context_gate_.emplace(config_.context_gate);
   } else {
     context_gate_.reset();
@@ -269,6 +271,7 @@ void DistScrollDevice::rebuild_mapping() {
       break;
     case LongMenuStrategy::Chunked:
       if (level_size > config_.chunk_size) {
+        // ds-lint: allow(no-alloc-markers) optional in-place construct of value state; no heap
         chunker_.emplace(level_size, config_.chunk_size);
         chunker_->jump_to_chunk(chunker_->chunk_of(cursor_.index()));
         islands = chunker_->entries_in_chunk();
@@ -277,6 +280,7 @@ void DistScrollDevice::rebuild_mapping() {
     case LongMenuStrategy::SpeedZoom:
       if (level_size > config_.speed_zoom_islands) {
         islands = config_.speed_zoom_islands;
+        // ds-lint: allow(no-alloc-markers) optional in-place construct of value state; no heap
         zoom_.emplace(level_size, islands, config_.speed_zoom);
       }
       break;
@@ -291,6 +295,7 @@ void DistScrollDevice::rebuild_mapping() {
       fs.threshold_counts = static_cast<std::uint16_t>(
           std::min(1020, mapper_.islands().front().high + 12));
     }
+    // ds-lint: allow(no-alloc-markers) optional in-place construct of value state; no heap
     fast_scroll_.emplace(fs);
   } else {
     fast_scroll_.reset();

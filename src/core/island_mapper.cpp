@@ -23,8 +23,10 @@ void IslandMapper::rebuild(const SensorCurve& curve, std::size_t entries, Config
   // the paper engineers for. centre_counts_ is scratch kept as a member
   // so rebuild() allocates nothing once capacity covers the largest
   // level.
+  // ds-lint: allow(no-alloc-markers) member scratch; capacity ratchets to the largest level once
   centre_counts_.resize(entries);
   std::vector<double>& centre_counts = centre_counts_;
+  // ds-lint: allow(no-alloc-markers) same recycled-capacity pattern as centre_counts_
   centres_.resize(entries);
   for (std::size_t i = 0; i < entries; ++i) {
     const util::Centimeters d{config.near.value + (static_cast<double>(i) + 0.5) * slot};
@@ -35,6 +37,7 @@ void IslandMapper::rebuild(const SensorCurve& curve, std::size_t entries, Config
   spectrum_high_ = curve.counts_at(config_.near).value;
   spectrum_low_ = curve.counts_at(config_.far).value;
 
+  // ds-lint: allow(no-alloc-markers) recycled capacity: warm rebuilds shrink or reuse, never grow past the first largest level
   islands_.resize(entries);
   // `bound`: the next island's high end must stay strictly below it so
   // the table remains disjoint after integer rounding (binary-search

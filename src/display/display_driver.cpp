@@ -1,15 +1,20 @@
 #include "display/display_driver.h"
 
-#include <vector>
+#include <algorithm>
+#include <cassert>
+#include <span>
 
 namespace distscroll::display {
 
 util::Seconds DisplayDriver::command(Command cmd, std::initializer_list<std::uint8_t> args) {
-  std::vector<std::uint8_t> frame;
-  frame.reserve(1 + args.size());
-  frame.push_back(static_cast<std::uint8_t>(cmd));
-  frame.insert(frame.end(), args.begin(), args.end());
-  const auto result = bus_->write(address_, frame);
+  // Fixed-size frame on the stack: command byte plus at most 7 argument
+  // bytes. command() sits on the redraw path that core/'s DS_HOT
+  // regions reach on every scroll step, so it must not touch the heap.
+  std::array<std::uint8_t, 8> frame{};
+  assert(args.size() < frame.size());
+  frame[0] = static_cast<std::uint8_t>(cmd);
+  std::copy(args.begin(), args.end(), frame.begin() + 1);
+  const auto result = bus_->write(address_, std::span(frame.data(), 1 + args.size()));
   last_acked_ = result.acked;
   return result.bus_time;
 }
@@ -17,11 +22,13 @@ util::Seconds DisplayDriver::command(Command cmd, std::initializer_list<std::uin
 util::Seconds DisplayDriver::text_command(int row, int col, std::string_view text) {
   util::Seconds total = command(Command::SetCursor,
                                 {static_cast<std::uint8_t>(row), static_cast<std::uint8_t>(col)});
-  std::vector<std::uint8_t> frame;
-  frame.reserve(1 + text.size());
-  frame.push_back(static_cast<std::uint8_t>(Command::Text));
-  for (char c : text) frame.push_back(static_cast<std::uint8_t>(c));
-  const auto result = bus_->write(address_, frame);
+  // Text payloads are clipped to one 16-column line (the panel discards
+  // overflow anyway), so a stack frame buffer covers every case.
+  std::array<std::uint8_t, 1 + kTextColumns> frame{};
+  frame[0] = static_cast<std::uint8_t>(Command::Text);
+  const std::size_t n = std::min(text.size(), static_cast<std::size_t>(kTextColumns));
+  for (std::size_t i = 0; i < n; ++i) frame[1 + i] = static_cast<std::uint8_t>(text[i]);
+  const auto result = bus_->write(address_, std::span(frame.data(), 1 + n));
   last_acked_ = last_acked_ && result.acked;
   return total + result.bus_time;
 }
@@ -50,15 +57,23 @@ util::Seconds DisplayDriver::show(const std::array<std::string, kTextLines>& lin
   util::Seconds total{0.0};
   for (int row = 0; row < kTextLines; ++row) {
     auto& shadow_line = shadow_[static_cast<std::size_t>(row)];
-    std::string padded = lines[static_cast<std::size_t>(row)].substr(0, kTextColumns);
-    padded.resize(kTextColumns, ' ');
+    // Pad into a stack cell buffer — no per-line string construction on
+    // the repaint path.
+    std::array<char, kTextColumns> cell;
+    cell.fill(' ');
+    const std::string& line = lines[static_cast<std::size_t>(row)];
+    const std::size_t n = std::min(line.size(), static_cast<std::size_t>(kTextColumns));
+    std::copy_n(line.begin(), n, cell.begin());
+    const std::string_view padded(cell.data(), cell.size());
     const bool highlight_changed =
         shadow_valid_ && ((shadow_highlight_ == row) != (highlighted_row == row));
-    if (shadow_valid_ && shadow_line == padded && !highlight_changed) continue;
+    if (shadow_valid_ && std::string_view(shadow_line) == padded && !highlight_changed) continue;
     // Order matters: set polarity first so the glyphs render with it.
     total = total + set_line_inverted(row, highlighted_row == row);
     total = total + text_command(row, 0, padded);
-    shadow_line = padded;
+    // Shadow capacity ratchets to 16 bytes on the first repaint of each
+    // line; assign() reuses it from then on.
+    shadow_line.assign(padded);
   }
   shadow_highlight_ = highlighted_row;
   shadow_valid_ = true;

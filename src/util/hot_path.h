@@ -4,9 +4,11 @@
 // is steady-state allocation-free". The markers expand to nothing — they
 // cost zero at runtime — but tools/ds_lint scans the bracketed region
 // for lexical allocation markers (new, make_unique, container growth
-// calls) and fails the build on a hit. Amortised-growth lines that are
-// provably warm-path-free (recycled capacity) carry a
-// `// ds-lint: allow(no-alloc-markers)` with the reason.
+// calls) and fails the build on a hit — both inside the region and, via
+// the cross-TU reachability pass, in everything the region's call graph
+// reaches. Amortised-growth lines that are provably warm-path-free
+// (recycled capacity) carry an allow(no-alloc-markers) suppression
+// comment with the reason.
 //
 // The runtime half is util::AllocGuard (alloc_guard.h): tests wrap the
 // same regions in DS_ASSERT_NO_ALLOC scopes, so the claim is pinned both

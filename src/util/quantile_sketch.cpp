@@ -16,6 +16,7 @@ QuantileSketch::QuantileSketch() : levels_(kMaxLevels), parity_(kMaxLevels, 0) {
 
 void QuantileSketch::add(double value) {
   ++count_;
+  // ds-lint: allow(no-alloc-markers) level capacity pre-reserved to 2*kCapacity in the ctor; pinned by DS_ASSERT_NO_ALLOC
   levels_[0].push_back(value);
   for (std::size_t l = 0; l < kMaxLevels && levels_[l].size() >= kCapacity; ++l) compact(l);
 }
@@ -31,6 +32,7 @@ void QuantileSketch::compact(std::size_t level) {
   parity_[level] ^= 1;
   if (level + 1 < kMaxLevels) {
     std::vector<double>& up = levels_[level + 1];
+    // ds-lint: allow(no-alloc-markers) promotions fit the receiving level's 2*kCapacity reserve on the add() path
     for (std::size_t i = 0; i < pairs; ++i) up.push_back(buffer[2 * i + keep_offset]);
   }
   // else: level 31 overflow (~2.7e11 folds) — unreachable in practice;
@@ -38,6 +40,7 @@ void QuantileSketch::compact(std::size_t level) {
   // because it walks actual buffer weights.
   if (buffer.size() % 2 != 0) {
     buffer[0] = buffer.back();
+    // ds-lint: allow(no-alloc-markers) shrinking resize; never reallocates
     buffer.resize(1);
   } else {
     buffer.clear();

@@ -1,0 +1,20 @@
+// Fixture: the DS_HOT region below is locally clean — the allocation
+// it reaches sits two calls away in hw/buffer_ref.cpp. Only the
+// whole-program reachability pass connects the dots. cold_step is the
+// near-miss entry point: same helper shape, no region, no finding.
+#include "hw/buffer_ref.h"
+
+#define DS_HOT_BEGIN
+#define DS_HOT_END
+
+namespace distscroll::core {
+
+DS_HOT_BEGIN
+int warm_step(hw::BufferRef& ref) {
+  return hw::refresh_buffers(ref);
+}
+DS_HOT_END
+
+int cold_step(hw::BufferRef& ref) { return hw::cold_refresh(ref); }
+
+}  // namespace distscroll::core

@@ -1,0 +1,27 @@
+// Fixture: cross-TU hot-path reachability. grow_storage() allocates
+// two calls away from the DS_HOT region in core/hot_caller.cpp; the
+// region-local rule cannot see it, the call-graph pass can. cold_grow
+// is the near-miss: same allocation shape, only reachable from a cold
+// entry point, so it must stay silent.
+#include "hw/buffer_ref.h"
+
+namespace distscroll::hw {
+namespace {
+
+int grow_storage(BufferRef& ref) {
+  ref.storage.push_back(1);
+  return static_cast<int>(ref.storage.size());
+}
+
+int cold_grow(BufferRef& ref) {
+  ref.storage.push_back(2);
+  return static_cast<int>(ref.storage.size());
+}
+
+}  // namespace
+
+int refresh_buffers(BufferRef& ref) { return grow_storage(ref); }
+
+int cold_refresh(BufferRef& ref) { return cold_grow(ref); }
+
+}  // namespace distscroll::hw

@@ -1,0 +1,17 @@
+// Fixture support header for the cross-TU reachability case (see
+// core/hot_caller.cpp). Declarations only — the allocation lives in
+// buffer_ref.cpp, two calls below the DS_HOT region.
+#pragma once
+
+#include <vector>
+
+namespace distscroll::hw {
+
+struct BufferRef {
+  std::vector<int> storage;
+};
+
+int refresh_buffers(BufferRef& ref);
+int cold_refresh(BufferRef& ref);
+
+}  // namespace distscroll::hw

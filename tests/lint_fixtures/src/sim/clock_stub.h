@@ -1,0 +1,9 @@
+// Fixture support header: downward-edge target (see study/downward.h).
+// Clean on its own — simulated time only, no host clock.
+#pragma once
+
+namespace distscroll::sim {
+struct ClockStub {
+  double now_s = 0.0;
+};
+}  // namespace distscroll::sim

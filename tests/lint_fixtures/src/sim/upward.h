@@ -1,0 +1,12 @@
+// Fixture: include-layering upward edge. sim (L1) must not depend on
+// study (L8); this include is rejected against the declared layer
+// table even though the file graph itself is acyclic.
+#pragma once
+
+#include "study/tasks.h"
+
+namespace distscroll::sim {
+struct UpwardCoupling {
+  study::TaskTag tag{};
+};
+}  // namespace distscroll::sim

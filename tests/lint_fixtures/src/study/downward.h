@@ -1,0 +1,11 @@
+// Fixture near-miss: a study (L8) -> sim (L1) include is a declared
+// downward edge in the layer table, so this file lints clean.
+#pragma once
+
+#include "sim/clock_stub.h"
+
+namespace distscroll::study {
+struct DownwardUse {
+  sim::ClockStub clock{};
+};
+}  // namespace distscroll::study

@@ -1,0 +1,33 @@
+// Fixture: concurrency-purity. study/ code runs on ThreadPool workers;
+// mutable namespace-scope state and mutable function-local statics are
+// flagged. const/constexpr/thread_local/atomic/mutex declarations and
+// call-expression statements are the near-misses.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace distscroll::study {
+
+int session_counter = 0;
+
+std::string last_label;
+
+constexpr int kMaxSessions = 64;
+
+const double kScaleFactor = 1.5;
+
+std::atomic<std::uint32_t> live_sessions{0};
+
+thread_local int scratch_budget = 0;
+
+std::mutex pool_mutex;
+
+int bump_counter() {
+  static int calls = 0;
+  static const int kStride = 7;
+  calls += kStride;
+  return calls;
+}
+
+}  // namespace distscroll::study

@@ -1,0 +1,9 @@
+// Fixture support header: the upward-edge target (see sim/upward.h).
+// Clean on its own.
+#pragma once
+
+namespace distscroll::study {
+struct TaskTag {
+  int id = 0;
+};
+}  // namespace distscroll::study

@@ -1,0 +1,12 @@
+// Fixture: include-layering cycle detection. cycle_a.h and cycle_b.h
+// include each other; the cycle is reported once, anchored at the
+// lexicographically smallest file (this one).
+#pragma once
+
+#include "util/cycle_b.h"
+
+namespace distscroll::util {
+struct CycleA {
+  int tag_a = 0;
+};
+}  // namespace distscroll::util

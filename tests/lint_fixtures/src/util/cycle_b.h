@@ -1,0 +1,11 @@
+// Fixture: second half of the include cycle (see cycle_a.h). This file
+// itself produces no finding — one cycle, one report.
+#pragma once
+
+#include "util/cycle_a.h"
+
+namespace distscroll::util {
+struct CycleB {
+  int tag_b = 0;
+};
+}  // namespace distscroll::util

@@ -105,9 +105,10 @@ TEST(DsLint, ListRulesCoversRegistry) {
     names.push_back(line.substr(0, line.find(' ')));
   }
   const std::vector<std::string> want = {
-      "no-wallclock",        "no-ambient-rng",  "no-unordered-iteration",
+      "no-wallclock",        "no-ambient-rng",   "no-unordered-iteration",
       "no-std-function-hot-path", "no-alloc-markers", "include-hygiene",
-      "pragma-once",
+      "pragma-once",         "include-layering", "hot-path-reachability",
+      "concurrency-purity",  "suppression-hygiene",
   };
   EXPECT_EQ(names, want);
 }

@@ -1,11 +1,13 @@
-// CLI contract of the bench_compare perf gate.
+// CLI contract of the bench_compare perf gate and the ds_lint analyzer.
 //
 // Pins the exit-code protocol the scripts and ctest wiring rely on:
-// 0 = gates passed, 1 = regression, 64 = malformed command line,
-// 77 = environment not comparable (ctest SKIP_RETURN_CODE). The
-// malformed-input cases are the regression this PR fixed: --tolerance
-// used to go through atof, which silently truncated "1,6" to 1.0 and
-// "1.6x" to 1.6 instead of rejecting them.
+// 0 = gates passed, 1 = regression/finding, 64 = malformed command
+// line, 77 = environment not comparable (bench_compare only; ctest
+// SKIP_RETURN_CODE). The malformed-input cases are the regression a
+// past PR fixed: --tolerance used to go through atof, which silently
+// truncated "1,6" to 1.0 and "1.6x" to 1.6 instead of rejecting them.
+// For ds_lint the same file also pins both report formats: the text
+// `file:line: rule: message` shape and the --format=json document.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -244,6 +246,92 @@ TEST(BenchCompareCli, HostFieldsAbsentFromBaselineSkipTheGates) {
   fresh.host_frames_per_s = 1.0;  // would fail the floor if gated
   const std::string root = make_case_dirs("host_absent", 1.0, 1.0, true, 1.0, {}, fresh);
   EXPECT_EQ(run_bench_compare(root + "/baseline " + root + "/fresh --tolerance 1.5"), 0);
+}
+
+// --- ds_lint exit protocol and report formats -----------------------------
+
+struct CliRun {
+  std::string out;  // stdout only; stderr (the timing summary) is dropped
+  int exit_code = -1;
+};
+
+CliRun run_lint_cli(const std::string& args) {
+  const std::string cmd = std::string(DS_LINT_BIN) + " " + args + " 2>/dev/null";
+  CliRun result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[1024];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.out += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(DsLintCli, CleanTreeExitsZeroWithEmptyOutput) {
+  // The allowlisted fixture subtree is the canonical clean input.
+  const CliRun run = run_lint_cli(std::string("--root ") + DS_LINT_FIXTURE_DIR + " " +
+                                  DS_LINT_FIXTURE_DIR + "/src/obs");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(run.out.empty()) << run.out;
+}
+
+TEST(DsLintCli, FindingsExitOneInTextFormat) {
+  const CliRun run = run_lint_cli(std::string("--root ") + DS_LINT_FIXTURE_DIR);
+  EXPECT_EQ(run.exit_code, 1);
+  // Text format: `file:line: rule: message` plus indented `via` chains.
+  EXPECT_NE(run.out.find(": no-alloc-markers: "), std::string::npos);
+  EXPECT_NE(run.out.find("    via "), std::string::npos);
+}
+
+TEST(DsLintCli, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_lint_cli("--no-such-flag").exit_code, 64);
+}
+
+TEST(DsLintCli, UnknownRuleIsUsageError) {
+  EXPECT_EQ(run_lint_cli(std::string("--root ") + DS_LINT_FIXTURE_DIR +
+                         " --rule no-such-rule")
+                .exit_code,
+            64);
+}
+
+TEST(DsLintCli, HelpExitsZero) {
+  const CliRun run = run_lint_cli("--help");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("usage"), std::string::npos);
+}
+
+TEST(DsLintCli, JsonFormatIsWellFormed) {
+  const CliRun run = run_lint_cli(std::string("--root ") + DS_LINT_FIXTURE_DIR +
+                                  " --format=json");
+  EXPECT_EQ(run.exit_code, 1) << "findings must still drive the exit code";
+  // Shape pins (no JSON parser in-tree): top-level keys, one finding
+  // object per manifest entry, and the reachability chain array.
+  EXPECT_EQ(run.out.find("{\n"), 0u);
+  EXPECT_NE(run.out.find("\"root\": "), std::string::npos);
+  EXPECT_NE(run.out.find("\"findings\": ["), std::string::npos);
+  EXPECT_NE(run.out.find("\"rule\": \"no-alloc-markers\""), std::string::npos);
+  EXPECT_NE(run.out.find("\"chain\": [\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity for consumers.
+  long braces = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < run.out.size(); ++i) {
+    const char c = run.out[i];
+    if (c == '"' && (i == 0 || run.out[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(DsLintCli, JsonFormatOnCleanInputHasEmptyFindings) {
+  const CliRun run = run_lint_cli(std::string("--root ") + DS_LINT_FIXTURE_DIR + " " +
+                                  DS_LINT_FIXTURE_DIR + "/src/obs --format=json");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("\"findings\": []"), std::string::npos);
 }
 
 }  // namespace

@@ -1,730 +1,67 @@
-// ds_lint: project-specific static analyzer for the determinism contract.
+// ds_lint — repo-specific determinism & architecture linter (CLI).
 //
-// The repo's core guarantees — bit-identical sweeps at any thread count,
-// byte-exact golden traces, an allocation-free steady-state session
-// kernel — are behavioural properties that one stray wall-clock read,
-// ambient RNG call, unordered-container iteration, or hot-path heap
-// allocation silently breaks. The dynamic tests only catch a violation
-// when it happens to land on an exercised path; ds_lint makes the rules
-// machine-checked at the source level on every build, the way a kernel
-// lint gates banned constructs out of a training stack.
+// The passes live in tools/lint/ (shared lexer + file index + rule
+// registry; see DESIGN.md §14). This file only parses flags:
 //
-// Deliberately dependency-free (no libclang): a comment/string-stripping
-// lexer plus token-boundary scans over the stripped text. That level of
-// analysis is exactly right for these rules — every banned construct has
-// a lexically recognisable spelling — and keeps the tool a single TU
-// that builds in milliseconds and runs over the whole tree faster than a
-// compiler would parse one header.
+//   ds_lint [--root DIR] [PATH…]        lint the tree (or just PATH…)
+//   ds_lint --rule NAME                 restrict output to one rule
+//   ds_lint --format=text|json          finding output format
+//   ds_lint --include-graph FILE        also dump the resolved #include
+//                                       DAG (layer table + per-file
+//                                       edges) as JSON; '-' = stdout
+//   ds_lint --list-rules                registry with summaries
 //
-// Diagnostics: `file:line: rule: message`, one per finding, sorted by
-// (file, line). Exit status 1 when any finding survives suppression.
-//
-// Suppressions, narrowest first:
-//   * `// ds-lint: allow(<rule>[, <rule>...])` on the offending line or
-//     the line directly above it (the justification comment). This is
-//     the sanctioned escape hatch and should carry a one-line reason.
-//   * per-rule file-scope allowlists in the registry below — for whole
-//     directories whose job is the banned construct (obs/ owns wall
-//     timing, sim/random.h owns the RNG engine, tools/ are host-side).
-//
-// The fixture suite under tests/lint_fixtures/ pins the exact
-// diagnostics (file:line:rule) each rule emits, including suppression
-// and allowlist behaviour; the tree walk deliberately skips that
-// directory.
-#include <algorithm>
-#include <cctype>
+// Exit codes: 0 clean, 1 findings survived suppression, 64 usage or
+// configuration error (EX_USAGE).
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
+#include <cstring>
 #include <string>
-#include <vector>
 
-namespace fs = std::filesystem;
+#include "lint/driver.h"
 
 namespace {
 
-// --------------------------------------------------------------------------
-// Source model: a file split into lines, with a parallel "code view" in
-// which comments, string literals and char literals are blanked out
-// (replaced by spaces) so rules never fire on prose or quoted text.
-// Suppression comments are harvested while stripping.
-struct SourceFile {
-  std::string path;        // repo-relative, '/'-separated
-  std::vector<std::string> raw;    // original lines
-  std::vector<std::string> code;   // comment/string-stripped lines
-  // allow[i] = rules suppressed for findings on line i+1 (from a
-  // ds-lint comment on that line or the line above).
-  std::vector<std::set<std::string>> allow;
-};
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-
-  bool operator<(const Finding& other) const {
-    if (file != other.file) return file < other.file;
-    if (line != other.line) return line < other.line;
-    return rule < other.rule;
-  }
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Parse `ds-lint: allow(rule-a, rule-b)` out of a comment's text and
-/// insert the rule names into `out`.
-void harvest_allow(const std::string& comment, std::set<std::string>& out) {
-  const std::string key = "ds-lint:";
-  std::size_t at = comment.find(key);
-  while (at != std::string::npos) {
-    std::size_t p = at + key.size();
-    while (p < comment.size() && comment[p] == ' ') ++p;
-    if (comment.compare(p, 6, "allow(") == 0) {
-      p += 6;
-      const std::size_t close = comment.find(')', p);
-      if (close != std::string::npos) {
-        std::string name;
-        for (std::size_t i = p; i <= close; ++i) {
-          const char c = comment[i];
-          if (c == ',' || c == ')') {
-            if (!name.empty()) out.insert(name);
-            name.clear();
-          } else if (c != ' ') {
-            name.push_back(c);
-          }
-        }
-      }
-    }
-    at = comment.find(key, at + key.size());
-  }
-}
-
-/// Strip comments and string/char literals, preserving line structure.
-/// Tracks ds-lint suppression comments per line.
-SourceFile load_source(const fs::path& abspath, std::string rel) {
-  SourceFile src;
-  src.path = std::move(rel);
-  std::ifstream in(abspath);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    src.raw.push_back(line);
-  }
-  src.code.resize(src.raw.size());
-  src.allow.resize(src.raw.size());
-
-  enum class Mode { Code, Block, Str, Chr, RawStr };
-  Mode mode = Mode::Code;
-  std::string raw_delim;                       // raw-string closing delimiter
-  std::vector<std::string> comment_on(src.raw.size());  // comment text per line
-
-  for (std::size_t li = 0; li < src.raw.size(); ++li) {
-    const std::string& s = src.raw[li];
-    std::string& out = src.code[li];
-    out.assign(s.size(), ' ');
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      const char c = s[i];
-      switch (mode) {
-        case Mode::Code:
-          if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-            comment_on[li] += s.substr(i + 2);
-            i = s.size();  // rest of line is comment
-          } else if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-            mode = Mode::Block;
-            ++i;
-          } else if (c == '"') {
-            // R"delim( ... )delim" raw strings
-            if (i >= 1 && s[i - 1] == 'R' && (i < 2 || !ident_char(s[i - 2]))) {
-              const std::size_t open = s.find('(', i + 1);
-              if (open != std::string::npos) {
-                raw_delim = ")" + s.substr(i + 1, open - i - 1) + "\"";
-                out[i] = '"';
-                i = open;
-                mode = Mode::RawStr;
-                break;
-              }
-            }
-            out[i] = '"';
-            mode = Mode::Str;
-          } else if (c == '\'' && !(i > 0 && ident_char(s[i - 1]))) {
-            // char literal (not a digit separator like 10'000)
-            out[i] = '\'';
-            mode = Mode::Chr;
-          } else {
-            out[i] = c;
-          }
-          break;
-        case Mode::Block: {
-          const std::size_t close = s.find("*/", i);
-          if (close == std::string::npos) {
-            comment_on[li] += s.substr(i);
-            i = s.size();
-          } else {
-            comment_on[li] += s.substr(i, close - i);
-            i = close + 1;
-            mode = Mode::Code;
-          }
-          break;
-        }
-        case Mode::Str:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            out[i] = '"';
-            mode = Mode::Code;
-          }
-          break;
-        case Mode::Chr:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            out[i] = '\'';
-            mode = Mode::Code;
-          }
-          break;
-        case Mode::RawStr: {
-          const std::size_t close = s.find(raw_delim, i);
-          if (close == std::string::npos) {
-            i = s.size();
-          } else {
-            i = close + raw_delim.size() - 1;
-            out[i] = '"';
-            mode = Mode::Code;
-          }
-          break;
-        }
-      }
-    }
-  }
-
-  // A suppression covers its own line and the line below (comment-above
-  // style). Harvest after the full pass so block comments work too.
-  for (std::size_t li = 0; li < comment_on.size(); ++li) {
-    if (comment_on[li].empty()) continue;
-    std::set<std::string> rules;
-    harvest_allow(comment_on[li], rules);
-    if (rules.empty()) continue;
-    src.allow[li].insert(rules.begin(), rules.end());
-    if (li + 1 < src.allow.size()) src.allow[li + 1].insert(rules.begin(), rules.end());
-  }
-  return src;
-}
-
-// --------------------------------------------------------------------------
-// Token scanning helpers over the stripped code view.
-
-/// Find `token` in `line` starting at `from`, requiring identifier
-/// boundaries on both sides. Returns npos when absent.
-std::size_t find_token(const std::string& line, const std::string& token,
-                       std::size_t from = 0) {
-  std::size_t at = line.find(token, from);
-  while (at != std::string::npos) {
-    const bool left_ok = at == 0 || !ident_char(line[at - 1]);
-    const std::size_t end = at + token.size();
-    const bool right_ok = end >= line.size() || !ident_char(line[end]);
-    if (left_ok && right_ok) return at;
-    at = line.find(token, at + 1);
-  }
-  return std::string::npos;
-}
-
-bool has_token(const std::string& line, const std::string& token) {
-  return find_token(line, token) != std::string::npos;
-}
-
-/// Position just past an optional balanced template argument list
-/// starting at `at` (so `make_unique<int[]>` scans to its '(').
-std::size_t skip_template_args(const std::string& line, std::size_t at) {
-  if (at >= line.size() || line[at] != '<') return at;
-  int depth = 0;
-  for (; at < line.size(); ++at) {
-    if (line[at] == '<') ++depth;
-    if (line[at] == '>' && --depth == 0) return at + 1;
-  }
-  return line.size();
-}
-
-/// Last non-space character before position `at`, or '\0'.
-char prev_sig_char(const std::string& line, std::size_t at) {
-  while (at > 0) {
-    --at;
-    if (line[at] != ' ' && line[at] != '\t') return line[at];
-  }
-  return '\0';
-}
-
-/// True when the identifier ending just before `at` (skipping spaces)
-/// equals `word` — e.g. to detect `std` before `::`.
-bool prev_word_is(const std::string& line, std::size_t at, const std::string& word) {
-  while (at > 0 && (line[at - 1] == ' ' || line[at - 1] == '\t')) --at;
-  if (at < word.size()) return false;
-  if (line.compare(at - word.size(), word.size(), word) != 0) return false;
-  const std::size_t start = at - word.size();
-  return start == 0 || !ident_char(line[start - 1]);
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool is_header(const std::string& path) {
-  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
-}
-
-// --------------------------------------------------------------------------
-// Rule registry. Each rule: name, per-file applicability (scope +
-// allowlist), and a scan over the stripped source.
-
-using Emit = std::vector<Finding>;
-
-void emit(Emit& out, const SourceFile& src, std::size_t line_index,
-          const std::string& rule, std::string message) {
-  if (src.allow[line_index].count(rule) != 0) return;
-  out.push_back(Finding{src.path, line_index + 1, rule, std::move(message)});
-}
-
-// --- no-wallclock ---------------------------------------------------------
-// Simulated time comes from sim::EventQueue; host wall time is reserved
-// for the obs/ stage profiler and the sweep harness's wall metric (both
-// explicitly outside the deterministic state). Anything else reading
-// the machine clock makes behaviour depend on the host.
-bool wallclock_applies(const std::string& path) {
-  if (starts_with(path, "src/obs/")) return false;  // owns wall timing
-  if (starts_with(path, "tools/")) return false;    // host-side CLIs
-  return true;
-}
-
-void rule_no_wallclock(const SourceFile& src, Emit& out) {
-  static const std::vector<std::string> kBanned = {
-      "system_clock",  "steady_clock",  "high_resolution_clock",
-      "gettimeofday",  "clock_gettime", "timespec_get",
-      // Host resource probes (peak RSS etc.) are observability, not sim
-      // state — like wall timing they live behind allowlisted accessors.
-      "getrusage",
-  };
-  for (std::size_t li = 0; li < src.code.size(); ++li) {
-    const std::string& line = src.code[li];
-    for (const auto& token : kBanned) {
-      if (has_token(line, token)) {
-        emit(out, src, li, "no-wallclock",
-             "'" + token + "' reads the host clock; simulated time comes from sim::EventQueue");
-      }
-    }
-    // Bare C `time(` / `clock(` calls: flag only expression-position
-    // uses. Member access (`q.clock()`), qualified statics and
-    // declarations (`const SimClock& clock() const`) are fine.
-    for (const char* fn : {"time", "clock"}) {
-      std::size_t at = find_token(line, fn);
-      while (at != std::string::npos) {
-        const std::size_t after = at + std::string(fn).size();
-        if (after < line.size() && line[after] == '(') {
-          const char prev = prev_sig_char(line, at);
-          const bool member = prev == '.' ||
-                              (prev == '>' && at >= 2 && line[at - 2] == '-');
-          const bool qualified = prev == ':';
-          const bool call_position = prev == '\0' || prev == ';' || prev == '{' ||
-                                     prev == '}' || prev == '(' || prev == ',' ||
-                                     prev == '=';
-          const bool std_qualified =
-              qualified && at >= 2 && prev_word_is(line, at - 2, "std");
-          if ((call_position && !member) || std_qualified) {
-            emit(out, src, li, "no-wallclock",
-                 std::string("'") + fn + "()' reads the host clock; use the simulated clock");
-          }
-        }
-        at = find_token(line, fn, at + 1);
-      }
-    }
-  }
-}
-
-// --- no-ambient-rng -------------------------------------------------------
-// All randomness flows through sim::Rng (seeded, forkable, recorded in
-// BENCH json). Ambient engines make runs unrepeatable.
-bool rng_applies(const std::string& path) {
-  return path != "src/sim/random.h";  // the sanctioned engine lives here
-}
-
-void rule_no_ambient_rng(const SourceFile& src, Emit& out) {
-  static const std::vector<std::string> kBannedTypes = {
-      "random_device", "mt19937", "mt19937_64", "minstd_rand", "default_random_engine",
-  };
-  static const std::vector<std::string> kBannedCalls = {"rand", "srand", "drand48"};
-  for (std::size_t li = 0; li < src.code.size(); ++li) {
-    const std::string& line = src.code[li];
-    for (const auto& token : kBannedTypes) {
-      if (has_token(line, token)) {
-        emit(out, src, li, "no-ambient-rng",
-             "'" + token + "' is ambient randomness; seed a sim::Rng (or fork an existing one)");
-      }
-    }
-    for (const auto& fn : kBannedCalls) {
-      std::size_t at = find_token(line, fn);
-      while (at != std::string::npos) {
-        const std::size_t after = at + fn.size();
-        if (after < line.size() && line[after] == '(') {
-          const char prev = prev_sig_char(line, at);
-          const bool member = prev == '.' ||
-                              (prev == '>' && at >= 2 && line[at - 2] == '-');
-          if (!member) {
-            emit(out, src, li, "no-ambient-rng",
-                 "'" + fn + "()' is ambient randomness; use sim::Rng");
-          }
-        }
-        at = find_token(line, fn, at + 1);
-      }
-    }
-  }
-}
-
-// --- no-unordered-iteration ----------------------------------------------
-// Iterating an unordered container visits elements in hash order, which
-// varies across libstdc++ versions and salt — any simulation state or
-// output derived from that order breaks bit-identical replays. Keyed
-// lookups are fine; iteration in deterministic subsystems is not.
-bool unordered_applies(const std::string& path) {
-  static const std::vector<std::string> kScopes = {
-      "src/sim/", "src/study/", "src/core/", "src/sensors/", "src/hw/", "src/wireless/",
-      "src/host/",
-  };
-  return std::any_of(kScopes.begin(), kScopes.end(),
-                     [&](const std::string& s) { return starts_with(path, s); });
-}
-
-void rule_no_unordered_iteration(const SourceFile& src, Emit& out) {
-  // Pass 1: names declared with an unordered container type.
-  std::set<std::string> unordered_vars;
-  for (const std::string& line : src.code) {
-    for (const char* type : {"unordered_map", "unordered_set", "unordered_multimap",
-                             "unordered_multiset"}) {
-      std::size_t at = find_token(line, type);
-      while (at != std::string::npos) {
-        // Skip the template argument list (balanced <>), then read the
-        // declared identifier, if the declaration fits on this line.
-        std::size_t p = at + std::string(type).size();
-        if (p < line.size() && line[p] == '<') {
-          int depth = 0;
-          for (; p < line.size(); ++p) {
-            if (line[p] == '<') ++depth;
-            if (line[p] == '>' && --depth == 0) {
-              ++p;
-              break;
-            }
-          }
-        }
-        while (p < line.size() && (line[p] == ' ' || line[p] == '&')) ++p;
-        std::string name;
-        while (p < line.size() && ident_char(line[p])) name.push_back(line[p++]);
-        if (!name.empty()) unordered_vars.insert(name);
-        at = find_token(line, type, at + 1);
-      }
-    }
-  }
-  if (unordered_vars.empty()) return;
-
-  // Pass 2: range-for over, or begin()/iterator walks of, those names.
-  for (std::size_t li = 0; li < src.code.size(); ++li) {
-    const std::string& line = src.code[li];
-    const std::size_t for_at = find_token(line, "for");
-    const std::size_t colon = line.find(':');
-    for (const auto& name : unordered_vars) {
-      const std::size_t name_at = find_token(line, name);
-      if (name_at == std::string::npos) continue;
-      const bool range_for = for_at != std::string::npos && colon != std::string::npos &&
-                             for_at < colon && name_at > colon;
-      bool begin_walk = false;
-      for (const char* fn : {".begin", ".cbegin", "->begin", "->cbegin"}) {
-        if (line.find(name + fn, 0) != std::string::npos) begin_walk = true;
-      }
-      if (range_for || begin_walk) {
-        emit(out, src, li, "no-unordered-iteration",
-             "iterating unordered container '" + name +
-                 "' visits hash order; use a sorted container or sort the keys first");
-      }
-    }
-  }
-}
-
-// --- no-std-function-hot-path --------------------------------------------
-// std::function in a device-side header means a type-erased, possibly
-// heap-backed callable on a per-sample path. util::FunctionRef is the
-// sanctioned delegate; owning std::function belongs at setup-time
-// boundaries only, each use justified with an allow().
-bool stdfunction_applies(const std::string& path) {
-  if (!is_header(path)) return false;
-  static const std::vector<std::string> kScopes = {
-      "src/hw/", "src/core/", "src/sensors/", "src/display/",
-  };
-  return std::any_of(kScopes.begin(), kScopes.end(),
-                     [&](const std::string& s) { return starts_with(path, s); });
-}
-
-void rule_no_std_function(const SourceFile& src, Emit& out) {
-  for (std::size_t li = 0; li < src.code.size(); ++li) {
-    if (src.code[li].find("std::function") != std::string::npos) {
-      emit(out, src, li, "no-std-function-hot-path",
-           "std::function in a device-side header; use util::FunctionRef on sampling paths "
-           "(allow() only for setup-time owners)");
-    }
-  }
-}
-
-// --- no-alloc-markers -----------------------------------------------------
-// Regions bracketed DS_HOT_BEGIN/DS_HOT_END declare "steady-state
-// allocation-free" (the claim util::AllocGuard pins at runtime). Flag
-// lexical allocation markers inside them; amortised-growth lines that
-// are provably warm-path-free carry an allow() with the reason.
-void rule_no_alloc_markers(const SourceFile& src, Emit& out) {
-  static const std::vector<std::string> kCalls = {
-      "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup",
-  };
-  static const std::vector<std::string> kGrowth = {
-      "push_back", "emplace_back", "emplace", "insert", "resize", "reserve", "append",
-  };
-  bool hot = false;
-  for (std::size_t li = 0; li < src.code.size(); ++li) {
-    const std::string& line = src.code[li];
-    // Preprocessor lines never open/close regions or allocate — the
-    // marker macros' own `#define DS_HOT_BEGIN` must not start one.
-    const std::size_t first = line.find_first_not_of(" \t");
-    if (first != std::string::npos && line[first] == '#') continue;
-    if (has_token(line, "DS_HOT_BEGIN")) {
-      if (hot) {
-        emit(out, src, li, "no-alloc-markers", "nested DS_HOT_BEGIN (missing DS_HOT_END?)");
-      }
-      hot = true;
-      continue;
-    }
-    if (has_token(line, "DS_HOT_END")) {
-      if (!hot) {
-        emit(out, src, li, "no-alloc-markers", "DS_HOT_END without DS_HOT_BEGIN");
-      }
-      hot = false;
-      continue;
-    }
-    if (!hot) continue;
-
-    std::size_t at = find_token(line, "new");
-    if (at != std::string::npos && !prev_word_is(line, at, "operator")) {
-      emit(out, src, li, "no-alloc-markers", "'new' inside a DS_HOT region");
-    }
-    for (const auto& fn : kCalls) {
-      const std::size_t call = find_token(line, fn);
-      if (call != std::string::npos) {
-        const std::size_t paren = skip_template_args(line, call + fn.size());
-        if (paren < line.size() && line[paren] == '(') {
-          emit(out, src, li, "no-alloc-markers", "'" + fn + "' inside a DS_HOT region");
-        }
-      }
-    }
-    for (const auto& fn : kGrowth) {
-      std::size_t call = find_token(line, fn);
-      while (call != std::string::npos) {
-        const char prev = prev_sig_char(line, call);
-        const bool member = prev == '.' || (prev == '>' && call >= 2 && line[call - 2] == '-');
-        const std::size_t paren = skip_template_args(line, call + fn.size());
-        if (member && paren < line.size() && line[paren] == '(') {
-          emit(out, src, li, "no-alloc-markers",
-               "container growth '" + fn + "' inside a DS_HOT region");
-          break;
-        }
-        call = find_token(line, fn, call + 1);
-      }
-    }
-  }
-  if (hot) {
-    emit(out, src, src.code.size() - 1, "no-alloc-markers",
-         "DS_HOT_BEGIN region not closed by end of file");
-  }
-}
-
-// --- include-hygiene ------------------------------------------------------
-// Headers must not drag in stream globals (<iostream> instantiates
-// std::cout's init guard into every TU) and includes are root-relative
-// (no "../" escapes — they break the single -I src include model).
-void rule_include_hygiene(const SourceFile& src, Emit& out) {
-  for (std::size_t li = 0; li < src.code.size(); ++li) {
-    const std::string& code = src.code[li];
-    const std::size_t hash = code.find_first_not_of(" \t");
-    if (hash == std::string::npos || code[hash] != '#') continue;
-    if (code.find("include", hash) == std::string::npos) continue;
-    const std::string& raw = src.raw[li];  // the path lives in a "string"
-    if (is_header(src.path) && raw.find("<iostream>") != std::string::npos) {
-      emit(out, src, li, "include-hygiene",
-           "<iostream> in a header drags stream init into every TU; include it in the .cpp");
-    }
-    if (raw.find("\"../") != std::string::npos) {
-      emit(out, src, li, "include-hygiene",
-           "parent-relative include; use a root-relative path (-I src)");
-    }
-  }
-}
-
-// --- pragma-once ----------------------------------------------------------
-void rule_pragma_once(const SourceFile& src, Emit& out) {
-  if (!is_header(src.path)) return;
-  for (const std::string& line : src.code) {
-    if (line.find("#pragma once") != std::string::npos) return;
-  }
-  if (!src.code.empty()) {
-    emit(out, src, 0, "pragma-once", "header is missing '#pragma once'");
-  }
-}
-
-// --- registry -------------------------------------------------------------
-struct Rule {
-  const char* name;
-  bool (*applies)(const std::string& path);
-  void (*scan)(const SourceFile& src, Emit& out);
-  const char* summary;
-};
-
-bool always(const std::string&) { return true; }
-
-const std::vector<Rule>& registry() {
-  static const std::vector<Rule> kRules = {
-      {"no-wallclock", wallclock_applies, rule_no_wallclock,
-       "host clock reads outside obs/ wall-timing and tools/"},
-      {"no-ambient-rng", rng_applies, rule_no_ambient_rng,
-       "randomness not flowing through sim::Rng"},
-      {"no-unordered-iteration", unordered_applies, rule_no_unordered_iteration,
-       "hash-order iteration in deterministic subsystems"},
-      {"no-std-function-hot-path", stdfunction_applies, rule_no_std_function,
-       "std::function in device-side headers (util::FunctionRef is the delegate)"},
-      {"no-alloc-markers", always, rule_no_alloc_markers,
-       "allocation markers inside DS_HOT_BEGIN/DS_HOT_END regions"},
-      {"include-hygiene", always, rule_include_hygiene,
-       "<iostream> in headers; parent-relative includes"},
-      {"pragma-once", always, rule_pragma_once, "headers must use #pragma once"},
-  };
-  return kRules;
-}
-
-// --------------------------------------------------------------------------
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
-}
-
-/// Repo-relative, '/'-separated form of `p` under `root`.
-std::string rel_path(const fs::path& root, const fs::path& p) {
-  return fs::relative(p, root).generic_string();
-}
-
-void lint_file(const fs::path& root, const fs::path& file, const std::string& only_rule,
-               Emit& findings) {
-  const SourceFile src = load_source(file, rel_path(root, file));
-  for (const Rule& rule : registry()) {
-    if (!only_rule.empty() && only_rule != rule.name) continue;
-    if (!rule.applies(src.path)) continue;
-    rule.scan(src, findings);
-  }
-}
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: ds_lint [--root <dir>] [--rule <name>] [--list-rules] [paths...]\n"
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ds_lint [--root <dir>] [--rule <name>] [--format=text|json]\n"
+               "               [--include-graph <file>] [--list-rules] [paths...]\n"
                "\n"
                "With no paths: walks src/ tools/ bench/ tests/ under --root (default: cwd),\n"
                "skipping tests/lint_fixtures/. Paths may be files or directories.\n");
-  return 2;
+  return lint::kExitUsage;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  std::string only_rule;
-  std::vector<fs::path> paths;
-
+  lint::Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
+      options.root = argv[++i];
     } else if (arg == "--rule" && i + 1 < argc) {
-      only_rule = argv[++i];
+      options.only_rule = argv[++i];
+    } else if (arg == "--include-graph" && i + 1 < argc) {
+      options.include_graph_path = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = arg.substr(std::strlen("--format="));
+      if (format == "json") {
+        options.json = true;
+      } else if (format != "text") {
+        std::fprintf(stderr, "ds_lint: unknown format '%s'\n", format.c_str());
+        return usage(stderr);
+      }
     } else if (arg == "--list-rules") {
-      for (const Rule& rule : registry()) {
-        std::printf("%-26s %s\n", rule.name, rule.summary);
-      }
-      return 0;
+      lint::list_rules();
+      return lint::kExitClean;
     } else if (arg == "--help" || arg == "-h") {
-      usage();
-      return 0;
+      usage(stdout);
+      return lint::kExitClean;
     } else if (!arg.empty() && arg[0] == '-') {
-      return usage();
+      return usage(stderr);
     } else {
-      paths.emplace_back(arg);
+      options.paths.emplace_back(arg);
     }
   }
-  root = fs::absolute(root);
-
-  Emit findings;
-  std::size_t files_scanned = 0;
-
-  if (paths.empty()) {
-    for (const char* top : {"src", "tools", "bench", "tests"}) {
-      const fs::path dir = root / top;
-      if (!fs::exists(dir)) continue;
-      for (auto it = fs::recursive_directory_iterator(dir);
-           it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_directory()) {
-          const std::string name = it->path().filename().string();
-          // Fixtures violate on purpose; build trees aren't ours.
-          if (name == "lint_fixtures" || starts_with(name, "build")) {
-            it.disable_recursion_pending();
-          }
-          continue;
-        }
-        if (!lintable(it->path())) continue;
-        lint_file(root, it->path(), only_rule, findings);
-        ++files_scanned;
-      }
-    }
-  } else {
-    for (const fs::path& p : paths) {
-      const fs::path abs = fs::absolute(p);
-      if (fs::is_directory(abs)) {
-        for (auto it = fs::recursive_directory_iterator(abs);
-             it != fs::recursive_directory_iterator(); ++it) {
-          if (it->is_directory()) {
-            const std::string name = it->path().filename().string();
-            // Same skips as the default walk: fixtures violate on
-            // purpose; build trees aren't ours.
-            if (name == "lint_fixtures" || starts_with(name, "build")) {
-              it.disable_recursion_pending();
-            }
-            continue;
-          }
-          if (!lintable(it->path())) continue;
-          lint_file(root, it->path(), only_rule, findings);
-          ++files_scanned;
-        }
-      } else if (fs::exists(abs)) {
-        lint_file(root, abs, only_rule, findings);
-        ++files_scanned;
-      } else {
-        std::fprintf(stderr, "ds_lint: no such file: %s\n", p.string().c_str());
-        return 2;
-      }
-    }
-  }
-
-  std::sort(findings.begin(), findings.end());
-  for (const Finding& f : findings) {
-    std::printf("%s:%zu: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
-  }
-  if (!findings.empty()) {
-    std::fprintf(stderr, "ds_lint: %zu finding(s) in %zu file(s) scanned\n", findings.size(),
-                 files_scanned);
-    return 1;
-  }
-  return 0;
+  return lint::run(options);
 }

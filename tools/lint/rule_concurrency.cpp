@@ -1,0 +1,175 @@
+// Concurrency purity: the fleet engine shards sessions across
+// util::ThreadPool workers, so everything those workers execute —
+// src/study/, src/host/, and the sim kernel they drive (src/sim/) —
+// must not touch mutable process-wide state. A namespace-scope counter
+// that is harmless single-threaded becomes a data race (and a
+// determinism leak: interleaving-dependent values) the moment two
+// shards run concurrently.
+//
+// Two scans, both lexical:
+//
+//   1. namespace-scope statements: a brace-context walk classifies each
+//      '{' as Namespace / Class / Initializer / Body; any ';'-terminated
+//      statement at namespace depth that declares non-const,
+//      non-thread_local, non-atomic, non-synchronisation state is
+//      flagged.
+//   2. function-local `static` declarations inside indexed definition
+//      bodies (a `static` local is namespace-scope state with scoped
+//      spelling).
+//
+// Envelope (documented in DESIGN.md §14): statements containing '(' are
+// skipped — that silences function declarations and constructor-call
+// initialisers at the cost of missing `static int x = f();`-style
+// state; class-scope `static inline` members are likewise out of scope
+// here. Const-qualified, thread_local, std::atomic, and mutex-family
+// declarations are sanctioned by construction.
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "lint/rules.h"
+
+namespace lint {
+namespace {
+
+bool concurrency_applies(const std::string& path) {
+  return starts_with(path, "src/study/") || starts_with(path, "src/host/") ||
+         starts_with(path, "src/sim/");
+}
+
+/// Identifiers whose presence sanctions (or disqualifies) a statement.
+bool statement_is_exempt(const SourceFile& src, std::size_t begin, std::size_t end) {
+  static const std::set<std::string, std::less<>> kExempt = {
+      "const", "constexpr", "constinit", "thread_local",
+      // synchronisation primitives are shared-by-design
+      "mutex", "shared_mutex", "recursive_mutex", "timed_mutex",
+      "condition_variable", "condition_variable_any", "once_flag",
+      // not object declarations at all
+      "using", "typedef", "template", "friend", "static_assert", "extern",
+      "operator", "class", "struct", "union", "enum", "namespace", "requires",
+      "concept",
+  };
+  std::size_t idents = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (src.is_punct(i, "(")) return true;  // fn decl / ctor-call init: out of scope
+    if (src.tokens[i].kind != Token::Kind::Ident) continue;
+    ++idents;
+    const std::string_view text = src.text(src.tokens[i]);
+    if (kExempt.count(text) != 0) return true;
+    if (starts_with(std::string(text), "atomic")) return true;  // atomic<T>, atomic_int…
+  }
+  // A declaration needs at least a type and a name; a lone identifier
+  // (macro residue, label) is not state.
+  return idents < 2;
+}
+
+/// The declared name: the identifier just before the first '=', '{' or
+/// '[' — or the last identifier in the statement.
+std::string declared_name(const SourceFile& src, std::size_t begin, std::size_t end) {
+  std::size_t stop = end;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (src.is_punct(i, "=") || src.is_punct(i, "{") || src.is_punct(i, "[")) {
+      stop = i;
+      break;
+    }
+  }
+  for (std::size_t i = stop; i > begin; --i) {
+    if (src.tokens[i - 1].kind == Token::Kind::Ident) {
+      return std::string(src.text(src.tokens[i - 1]));
+    }
+  }
+  return "<unnamed>";
+}
+
+void scan_namespace_scope(const SourceFile& src, Emit& out) {
+  enum class Ctx { Namespace, Class, Init, Body };
+  std::vector<Ctx> stack = {Ctx::Namespace};  // file scope
+  std::size_t stmt_begin = 0;
+
+  auto classify = [&](std::size_t brace) -> Ctx {
+    if (stack.back() == Ctx::Body) return Ctx::Body;
+    if (stack.back() == Ctx::Init) return Ctx::Init;
+    bool saw_class = false;
+    bool saw_eq = false;
+    bool saw_paren_close = false;
+    for (std::size_t i = stmt_begin; i < brace; ++i) {
+      if (src.tokens[i].kind == Token::Kind::Ident) {
+        const std::string_view t = src.text(src.tokens[i]);
+        if (t == "namespace") return Ctx::Namespace;
+        if (t == "class" || t == "struct" || t == "union" || t == "enum") {
+          saw_class = true;
+        }
+      } else if (src.is_punct(i, "=")) {
+        saw_eq = true;
+      } else if (src.is_punct(i, ")")) {
+        saw_paren_close = true;
+      }
+    }
+    if (saw_class && !saw_eq) return Ctx::Class;
+    if (saw_eq) return Ctx::Init;
+    if (saw_paren_close) return Ctx::Body;  // `…(params) qualifiers {`
+    return Ctx::Init;                       // brace-init: `T x{…}`
+  };
+
+  for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+    if (src.is_punct(i, "{")) {
+      const Ctx kind = classify(i);
+      stack.push_back(kind);
+      if (kind != Ctx::Init) stmt_begin = i + 1;
+    } else if (src.is_punct(i, "}")) {
+      if (stack.size() > 1) {
+        const Ctx popped = stack.back();
+        stack.pop_back();
+        if (popped != Ctx::Init) stmt_begin = i + 1;
+      }
+    } else if (src.is_punct(i, ";")) {
+      if (stack.back() == Ctx::Namespace && !statement_is_exempt(src, stmt_begin, i)) {
+        const std::string name = declared_name(src, stmt_begin, i);
+        emit(out, src, src.tokens[stmt_begin].line, "concurrency-purity",
+             "mutable namespace-scope state '" + name +
+                 "' is shared across ThreadPool workers; make it "
+                 "const/constexpr/thread_local/atomic or pass it explicitly");
+      }
+      stmt_begin = i + 1;
+    }
+  }
+}
+
+void scan_static_locals(const FileIndex& index, const SourceFile& src,
+                        std::uint32_t file_idx, Emit& out) {
+  for (const FunctionDef& def : index.defs) {
+    if (def.file != file_idx) continue;
+    for (std::size_t i = def.body_begin; i < def.body_end && i < src.tokens.size();) {
+      if (!src.is_ident(i, "static")) {
+        ++i;
+        continue;
+      }
+      std::size_t stmt_end = i;
+      while (stmt_end < def.body_end && stmt_end < src.tokens.size() &&
+             !src.is_punct(stmt_end, ";")) {
+        ++stmt_end;
+      }
+      if (!statement_is_exempt(src, i, stmt_end)) {
+        const std::string name = declared_name(src, i, stmt_end);
+        emit(out, src, src.tokens[i].line, "concurrency-purity",
+             "mutable function-local static '" + name +
+                 "' persists across calls and is shared across ThreadPool workers; "
+                 "make it const or hoist it into explicit per-session state");
+      }
+      i = stmt_end + 1;
+    }
+  }
+}
+
+}  // namespace
+
+void rule_concurrency_purity(const FileIndex& index, Emit& out) {
+  for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+    const SourceFile& src = index.files[fi];
+    if (!concurrency_applies(src.path)) continue;
+    scan_namespace_scope(src, out);
+    scan_static_locals(index, src, static_cast<std::uint32_t>(fi), out);
+  }
+}
+
+}  // namespace lint

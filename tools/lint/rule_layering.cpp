@@ -1,0 +1,271 @@
+// Include-graph layering: the committed module layer table for src/,
+// checked against the real #include DAG on every lint run.
+//
+// Components are directories under src/ (with one file-granular split:
+// src/obs/replay* is its own component, mirroring the separate
+// ds_obs_replay library target — replay DRIVES a device, so it sits
+// above core, while the rest of obs/ is a leaf-ish recording layer that
+// core may depend on). Every allowed edge is listed explicitly and must
+// point at a strictly lower layer, so upward dependencies and new
+// cross-module couplings fail the build the moment they are introduced
+// rather than in review.
+//
+// Intra-component includes are unrestricted here; file-level cycles
+// (which would break any topological build order, even within one
+// component) are caught separately by a DFS over the file graph.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/rules.h"
+
+namespace lint {
+namespace {
+
+struct Component {
+  const char* name;
+  int layer;
+  // Path prefix owning this component; longest match wins so
+  // "src/obs/replay" beats "src/obs/".
+  const char* prefix;
+  std::vector<const char*> deps;  // components this one may include
+};
+
+/// The declared architecture. Order: leaf layers first. Kept in one
+/// table (rather than per-directory metadata files) so a reviewer can
+/// read the whole system shape in one screen; DESIGN.md §14 carries the
+/// prose version.
+const std::vector<Component>& layer_table() {
+  static const std::vector<Component> kTable = {
+      {"util", 0, "src/util/", {}},
+      {"sim", 1, "src/sim/", {"util"}},
+      {"menu", 2, "src/menu/", {"sim"}},
+      {"obs", 2, "src/obs/", {"sim", "util"}},
+      {"hw", 3, "src/hw/", {"obs", "sim", "util"}},
+      {"sensors", 3, "src/sensors/", {"obs", "sim", "util"}},
+      {"display", 4, "src/display/", {"hw", "util"}},
+      {"input", 4, "src/input/", {"hw", "sim", "util"}},
+      {"wireless", 4, "src/wireless/", {"hw", "obs", "sim", "util"}},
+      {"game", 5, "src/game/", {"display", "sim"}},
+      {"core", 5, "src/core/",
+       {"display", "hw", "input", "menu", "obs", "sensors", "sim", "util", "wireless"}},
+      {"baselines", 6, "src/baselines/", {"core", "obs", "sensors", "sim", "util"}},
+      {"host", 6, "src/host/", {"obs", "sim", "util", "wireless"}},
+      {"pda", 6, "src/pda/",
+       {"core", "hw", "input", "menu", "sensors", "sim", "util", "wireless"}},
+      {"obs_replay", 6, "src/obs/replay", {"core", "menu", "obs", "sim", "util"}},
+      {"human", 7, "src/human/", {"baselines", "sim", "util"}},
+      {"text", 8, "src/text/", {"baselines", "human", "sim", "util"}},
+      {"study", 8, "src/study/",
+       {"baselines", "core", "human", "input", "menu", "obs", "sensors", "sim", "util"}},
+  };
+  return kTable;
+}
+
+const Component* component_of(const std::string& path) {
+  const Component* best = nullptr;
+  std::size_t best_len = 0;
+  for (const Component& c : layer_table()) {
+    const std::string prefix(c.prefix);
+    if (starts_with(path, prefix) && prefix.size() > best_len) {
+      best = &c;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+/// The table itself must be coherent: every dep names a known component
+/// on a strictly lower layer. Emitted as unsuppressable findings so a
+/// bad table edit cannot be waved through.
+void validate_table(Emit& out) {
+  std::map<std::string, int> layers;
+  for (const Component& c : layer_table()) layers.emplace(c.name, c.layer);
+  for (const Component& c : layer_table()) {
+    for (const char* dep : c.deps) {
+      const auto it = layers.find(dep);
+      std::string problem;
+      if (it == layers.end()) {
+        problem = "unknown component '" + std::string(dep) + "'";
+      } else if (it->second >= c.layer) {
+        problem = "dep '" + std::string(dep) + "' (L" + std::to_string(it->second) +
+                  ") is not below L" + std::to_string(c.layer);
+      }
+      if (!problem.empty()) {
+        out.push_back(Finding{"tools/lint/rule_layering.cpp", 1, "include-layering",
+                              "layer table is incoherent: component '" +
+                                  std::string(c.name) + "': " + problem,
+                              {}, true});
+      }
+    }
+  }
+}
+
+void check_edges(const FileIndex& index, Emit& out) {
+  for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+    const SourceFile& src = index.files[fi];
+    if (!starts_with(src.path, "src/")) continue;
+    const Component* from = component_of(src.path);
+    for (std::size_t e = 0; e < index.include_edges[fi].size(); ++e) {
+      const SourceFile& dst = index.files[index.include_edges[fi][e]];
+      const Component* to = component_of(dst.path);
+      const std::uint32_t line = index.include_edge_lines[fi][e];
+      if (from == nullptr || to == nullptr) {
+        const std::string& odd = from == nullptr ? src.path : dst.path;
+        emit(out, src, line, "include-layering",
+             "'" + odd + "' belongs to no declared component; add it to the layer "
+                         "table in tools/lint/rule_layering.cpp");
+        continue;
+      }
+      if (from == to) continue;  // intra-component; cycles caught below
+      const bool allowed =
+          std::any_of(from->deps.begin(), from->deps.end(),
+                      [&](const char* d) { return std::string(d) == to->name; });
+      if (!allowed) {
+        const char* direction = to->layer >= from->layer ? "upward " : "";
+        emit(out, src, line, "include-layering",
+             "include of '" + dst.path + "' is an undeclared " +
+                 std::string(direction) + "edge: '" + from->name + "' (L" +
+                 std::to_string(from->layer) + ") -> '" + to->name + "' (L" +
+                 std::to_string(to->layer) + ") is not in the layer table");
+      }
+    }
+  }
+}
+
+/// File-level cycle detection over the resolved include graph. Each
+/// distinct cycle is reported once, anchored at its lexicographically
+/// smallest file (deterministic regardless of discovery order).
+void check_cycles(const FileIndex& index, Emit& out) {
+  const std::size_t n = index.files.size();
+  enum : char { kWhite, kGrey, kBlack };
+  std::vector<char> color(n, kWhite);
+  std::vector<std::uint32_t> path;       // current DFS chain of grey nodes
+  std::set<std::string> reported;        // canonical cycle keys
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next_edge;
+  };
+  std::vector<Frame> stack;
+
+  auto report = [&](std::size_t cycle_start) {
+    // path[cycle_start..] closes back to path[cycle_start].
+    std::vector<std::uint32_t> cycle(path.begin() +
+                                         static_cast<std::ptrdiff_t>(cycle_start),
+                                     path.end());
+    // Canonicalise: rotate so the smallest path starts the cycle.
+    std::size_t smallest = 0;
+    for (std::size_t i = 1; i < cycle.size(); ++i) {
+      if (index.files[cycle[i]].path < index.files[cycle[smallest]].path) smallest = i;
+    }
+    std::rotate(cycle.begin(), cycle.begin() + static_cast<std::ptrdiff_t>(smallest),
+                cycle.end());
+    std::string key;
+    std::string pretty;
+    for (const std::uint32_t f : cycle) {
+      key += index.files[f].path + "|";
+      pretty += index.files[f].path + " -> ";
+    }
+    pretty += index.files[cycle[0]].path;
+    if (!reported.insert(key).second) return;
+
+    // Anchor the finding at the smallest file's include of the next hop.
+    const std::uint32_t anchor = cycle[0];
+    const std::uint32_t next = cycle.size() > 1 ? cycle[1] : cycle[0];
+    std::uint32_t line = 0;
+    for (std::size_t e = 0; e < index.include_edges[anchor].size(); ++e) {
+      if (index.include_edges[anchor][e] == next) {
+        line = index.include_edge_lines[anchor][e];
+        break;
+      }
+    }
+    emit(out, index.files[anchor], line, "include-layering",
+         "include cycle: " + pretty);
+  };
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (color[root] != kWhite) continue;
+    stack.push_back(Frame{root, 0});
+    color[root] = kGrey;
+    path.push_back(root);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next_edge < index.include_edges[top.node].size()) {
+        const std::uint32_t next = index.include_edges[top.node][top.next_edge++];
+        if (color[next] == kWhite) {
+          color[next] = kGrey;
+          path.push_back(next);
+          stack.push_back(Frame{next, 0});
+        } else if (color[next] == kGrey) {
+          const auto at = std::find(path.begin(), path.end(), next);
+          report(static_cast<std::size_t>(at - path.begin()));
+        }
+      } else {
+        color[top.node] = kBlack;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+void json_escape(const std::string& s, std::string& out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+void rule_include_layering(const FileIndex& index, Emit& out) {
+  validate_table(out);
+  check_edges(index, out);
+  check_cycles(index, out);
+}
+
+void write_include_graph_json(const FileIndex& index, std::FILE* out) {
+  std::string buf = "{\n  \"components\": [\n";
+  const auto& table = layer_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    buf += "    {\"name\": \"";
+    buf += table[i].name;
+    buf += "\", \"layer\": " + std::to_string(table[i].layer) + ", \"deps\": [";
+    for (std::size_t d = 0; d < table[i].deps.size(); ++d) {
+      if (d != 0) buf += ", ";
+      buf += "\"";
+      buf += table[i].deps[d];
+      buf += "\"";
+    }
+    buf += "]}";
+    buf += i + 1 < table.size() ? ",\n" : "\n";
+  }
+  buf += "  ],\n  \"files\": [\n";
+  bool first = true;
+  for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+    const SourceFile& src = index.files[fi];
+    if (!starts_with(src.path, "src/")) continue;
+    if (!first) buf += ",\n";
+    first = false;
+    const Component* comp = component_of(src.path);
+    buf += "    {\"path\": \"";
+    json_escape(src.path, buf);
+    buf += "\", \"component\": \"";
+    buf += comp != nullptr ? comp->name : "";
+    buf += "\", \"includes\": [";
+    for (std::size_t e = 0; e < index.include_edges[fi].size(); ++e) {
+      if (e != 0) buf += ", ";
+      buf += "\"";
+      json_escape(index.files[index.include_edges[fi][e]].path, buf);
+      buf += "\"";
+    }
+    buf += "]}";
+  }
+  buf += "\n  ]\n}\n";
+  std::fwrite(buf.data(), 1, buf.size(), out);
+}
+
+}  // namespace lint

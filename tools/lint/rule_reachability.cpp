@@ -1,0 +1,190 @@
+// Hot-path call-graph reachability: upgrade the DS_HOT invariants from
+// region-local to reachable-from-region.
+//
+// A DS_HOT region declares "steady-state allocation-free, deterministic
+// time, deterministic randomness". The region-local rules only see the
+// region's own tokens; a helper one call away — possibly in another TU
+// — could allocate freely. This pass walks the call graph:
+//
+//   seeds   = callees invoked lexically inside any DS_HOT region
+//   expand  = breadth-first through each visited definition's calls,
+//             depth-capped (kMaxDepth) so one noisy resolution cannot
+//             drag in the world
+//   check   = run the shared alloc/RNG/wallclock detectors over every
+//             visited body (skipping tokens that sit inside that file's
+//             own DS_HOT regions — those are the local rule's findings)
+//
+// Call resolution is name-based but VISIBILITY-SCOPED: a call in file F
+// resolves only to definitions in F itself, in F's include closure, or
+// in a .cpp whose same-stem header is in that closure (C++ requires a
+// visible declaration, and this repo pairs x.cpp with x.h). That keeps
+// unrelated same-name functions in far corners of the tree from
+// creating false edges. BFS order means each definition is reached by a
+// shortest chain, which is what the two-line explanation prints.
+//
+// Findings are emitted under the rule names they upgrade
+// (no-alloc-markers / no-ambient-rng / no-wallclock) with the call
+// chain attached; the driver prefers a region-local finding over a
+// reachability duplicate at the same (file, line, rule), so chains only
+// appear where the local rules could not see. Per-rule file allowlists
+// apply to the file CONTAINING the violation: obs/ owns wall timing
+// even when reached from a hot path. False-negative envelope (virtual
+// dispatch, function pointers, macros) is documented in DESIGN.md §14.
+#include <algorithm>
+#include <deque>
+#include <string>
+
+#include "lint/rules.h"
+
+namespace lint {
+namespace {
+
+constexpr std::uint32_t kMaxDepth = 8;
+
+struct Node {
+  std::uint32_t def = 0;    // index into FileIndex::defs
+  std::uint32_t depth = 0;  // hops from the region
+  std::int32_t parent = -1; // index into the node arena, -1 = seeded
+  std::string seed;         // parent == -1: "file:line (DS_HOT region)"
+};
+
+bool in_closure(const FileIndex& index, std::uint32_t from, std::uint32_t target) {
+  const auto& closure = index.include_closure[from];
+  return std::binary_search(closure.begin(), closure.end(), target);
+}
+
+/// Definitions a call to `name` from `caller_file` may reach.
+void resolve_call(const FileIndex& index, std::uint32_t caller_file,
+                  std::string_view name, std::vector<std::uint32_t>& out) {
+  const auto it = index.defs_by_name.find(name);
+  if (it == index.defs_by_name.end()) return;
+  for (const std::uint32_t di : it->second) {
+    const std::uint32_t def_file = index.defs[di].file;
+    bool visible = def_file == caller_file || in_closure(index, caller_file, def_file);
+    if (!visible) {
+      // x.cpp is "visible" when its header x.h is: the declaration is
+      // in scope and the definition links in.
+      const std::string& def_path = index.files[def_file].path;
+      const std::size_t dot = def_path.rfind('.');
+      if (dot != std::string::npos && def_path.compare(dot, std::string::npos, ".h") != 0) {
+        const auto hdr = index.by_path.find(def_path.substr(0, dot) + ".h");
+        visible = hdr != index.by_path.end() &&
+                  (hdr->second == caller_file ||
+                   in_closure(index, caller_file, hdr->second));
+      }
+    }
+    if (visible) out.push_back(di);
+  }
+}
+
+/// Call sites in [begin, end) of `src`: an identifier directly followed
+/// by '(' that is neither a reserved word, a macro invocation, nor a
+/// definition's own name (the indexer already consumed those spans for
+/// seeds; for bodies a local redefinition cannot occur).
+void collect_calls(const SourceFile& src, std::size_t begin, std::size_t end,
+                   std::vector<std::size_t>& out) {
+  for (std::size_t i = begin; i + 1 < src.tokens.size() && i + 1 <= end; ++i) {
+    if (src.tokens[i].kind != Token::Kind::Ident || !src.is_punct(i + 1, "(")) continue;
+    const std::string_view name = src.text(src.tokens[i]);
+    if (is_reserved_word(name) || is_macro_name(name)) continue;
+    out.push_back(i);
+  }
+}
+
+bool token_in_hot_region(const SourceFile& src, std::size_t i) {
+  for (const HotRegion& r : src.hot_regions) {
+    if (i >= r.begin_tok && i < r.end_tok) return true;
+  }
+  return false;
+}
+
+bool violating_file_applies(const char* rule, const std::string& path) {
+  if (std::string_view(rule) == "no-wallclock") return wallclock_applies(path);
+  if (std::string_view(rule) == "no-ambient-rng") return rng_applies(path);
+  return true;  // no-alloc-markers has no file allowlist
+}
+
+std::string def_label(const FileIndex& index, const FunctionDef& def) {
+  return def.name + " (" + index.files[def.file].path + ":" +
+         std::to_string(def.name_line + 1) + ")";
+}
+
+}  // namespace
+
+void rule_hot_path_reachability(const FileIndex& index, Emit& out) {
+  std::vector<Node> nodes;
+  std::deque<std::uint32_t> queue;
+  std::vector<char> visited(index.defs.size(), 0);
+
+  auto enqueue = [&](std::uint32_t di, std::uint32_t depth, std::int32_t parent,
+                     std::string seed) {
+    if (visited[di] != 0) return;
+    visited[di] = 1;
+    nodes.push_back(Node{di, depth, parent, std::move(seed)});
+    queue.push_back(static_cast<std::uint32_t>(nodes.size() - 1));
+  };
+
+  // Seed: every call made lexically inside a DS_HOT region.
+  for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+    const SourceFile& src = index.files[fi];
+    for (const HotRegion& region : src.hot_regions) {
+      std::vector<std::size_t> calls;
+      collect_calls(src, region.begin_tok, region.end_tok, calls);
+      for (const std::size_t call_tok : calls) {
+        std::vector<std::uint32_t> targets;
+        resolve_call(index, static_cast<std::uint32_t>(fi),
+                     src.text(src.tokens[call_tok]), targets);
+        const std::string seed = src.path + ":" +
+                                 std::to_string(src.tokens[call_tok].line + 1) +
+                                 " (DS_HOT region)";
+        for (const std::uint32_t di : targets) enqueue(di, 1, -1, seed);
+      }
+    }
+  }
+
+  // BFS: check each visited body, expand its calls.
+  while (!queue.empty()) {
+    const std::uint32_t ni = queue.front();
+    queue.pop_front();
+    const Node node = nodes[ni];  // copy: nodes may reallocate on enqueue
+    const FunctionDef& def = index.defs[node.def];
+    const SourceFile& src = index.files[def.file];
+
+    // Render the chain root → this definition once per node.
+    std::vector<std::string> chain;
+    for (std::int32_t at = static_cast<std::int32_t>(ni); at != -1;
+         at = nodes[at].parent) {
+      chain.push_back(def_label(index, index.defs[nodes[at].def]));
+      if (nodes[at].parent == -1) chain.push_back(nodes[at].seed);
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    const auto sink = [&](std::size_t tok, const char* rule, std::string desc) {
+      if (token_in_hot_region(src, tok)) return;  // local rule's finding
+      if (!violating_file_applies(rule, src.path)) return;
+      Finding f;
+      f.file = src.path;
+      f.line = src.tokens[tok].line + 1;
+      f.rule = rule;
+      f.message = desc + " on a path reachable from a DS_HOT region";
+      f.chain = chain;
+      out.push_back(std::move(f));
+    };
+    detect_alloc_markers(src, def.body_begin, def.body_end, sink);
+    detect_ambient_rng(src, def.body_begin, def.body_end, sink);
+    detect_wallclock(src, def.body_begin, def.body_end, sink);
+
+    if (node.depth >= kMaxDepth) continue;
+    std::vector<std::size_t> calls;
+    collect_calls(src, def.body_begin, def.body_end, calls);
+    for (const std::size_t call_tok : calls) {
+      std::vector<std::uint32_t> targets;
+      resolve_call(index, def.file, src.text(src.tokens[call_tok]), targets);
+      for (const std::uint32_t di : targets) {
+        enqueue(di, node.depth + 1, static_cast<std::int32_t>(ni), {});
+      }
+    }
+  }
+}
+
+}  // namespace lint

@@ -1,0 +1,107 @@
+// Source model shared by every ds_lint pass (DESIGN.md §14).
+//
+// A file is loaded and lexed exactly once: comments and string/char
+// literals are blanked into a parallel "code view" (preserving line
+// structure so diagnostics stay line-accurate), then the code view is
+// tokenised into one shared token stream. Every rule — local or
+// whole-program — consumes that stream; no rule re-lexes.
+//
+// The lexer also harvests, per file:
+//   * suppression sites (allow(rule) comments, with whether
+//     a justification accompanies the directive) — the driver applies
+//     them and the suppression-hygiene meta-rule audits them;
+//   * quoted #include directives (for the include-graph pass);
+//   * DS_HOT_BEGIN/DS_HOT_END region spans (for the region-local
+//     allocation rule and the cross-TU reachability pass), plus any
+//     marker-nesting errors found while pairing them.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lint {
+
+struct Token {
+  enum class Kind : std::uint8_t { Ident, Number, Punct };
+  Kind kind = Kind::Punct;
+  std::uint32_t line = 0;  // 0-based index into SourceFile::code
+  std::uint16_t col = 0;   // byte offset within the line
+  std::uint16_t len = 0;
+};
+
+/// An allow(rule-a, rule-b) suppression comment with its reason. The
+/// site covers its own line and the line below it (comment-above style).
+struct AllowSite {
+  std::uint32_t line = 0;  // 0-based line of the comment
+  std::set<std::string> rules;
+  bool has_reason = false;  // non-directive text present in the comment
+};
+
+/// A quoted `#include "path"` directive (system includes are not
+/// interesting to any pass and are skipped at harvest time).
+struct IncludeDirective {
+  std::string target;      // the quoted path, verbatim
+  std::uint32_t line = 0;  // 0-based
+};
+
+/// A DS_HOT_BEGIN … DS_HOT_END span, as token indices.
+struct HotRegion {
+  std::uint32_t begin_tok = 0;  // first token after DS_HOT_BEGIN
+  std::uint32_t end_tok = 0;    // one past the last in-region token
+  std::uint32_t begin_line = 0;  // 0-based line of DS_HOT_BEGIN
+};
+
+/// Marker-pairing diagnostics (nested begin, dangling end, unclosed
+/// region) found while extracting regions; reported by the
+/// no-alloc-markers rule so the messages stay with that rule.
+struct MarkerError {
+  std::uint32_t line = 0;  // 0-based
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;                 // repo-relative, '/'-separated
+  std::vector<std::string> raw;     // original lines
+  std::vector<std::string> code;    // comment/string-stripped lines
+  std::vector<bool> preprocessor;   // line is a # directive (or its continuation)
+  std::vector<Token> tokens;        // the one shared lex of `code`
+  std::vector<AllowSite> allow_sites;
+  // allow_rules[i] = rules suppressed for findings on line i (0-based),
+  // derived from allow_sites (a site covers its line and the next).
+  std::vector<std::set<std::string>> allow_rules;
+  std::vector<IncludeDirective> includes;
+  std::vector<HotRegion> hot_regions;
+  std::vector<MarkerError> marker_errors;
+
+  [[nodiscard]] std::string_view text(const Token& t) const {
+    return std::string_view(code[t.line]).substr(t.col, t.len);
+  }
+  [[nodiscard]] bool is_ident(std::size_t i, std::string_view word) const {
+    return tokens[i].kind == Token::Kind::Ident && text(tokens[i]) == word;
+  }
+  [[nodiscard]] bool is_punct(std::size_t i, std::string_view p) const {
+    return tokens[i].kind == Token::Kind::Punct && text(tokens[i]) == p;
+  }
+  /// True when the line at `line` carries an allow() for `rule`.
+  [[nodiscard]] bool suppressed(std::uint32_t line, const std::string& rule) const {
+    return line < allow_rules.size() && allow_rules[line].count(rule) != 0;
+  }
+};
+
+/// Load, strip, and lex one file. `rel` is the repo-relative path used
+/// in diagnostics.
+SourceFile load_source(const std::filesystem::path& abspath, std::string rel);
+
+// Small shared predicates.
+bool ident_char(char c);
+bool starts_with(const std::string& s, const std::string& prefix);
+bool is_header(const std::string& path);
+/// SHOUTY_CASE identifiers are treated as macros by the heuristic
+/// passes (never indexed as functions, never resolved as calls).
+bool is_macro_name(std::string_view name);
+
+}  // namespace lint
